@@ -1,0 +1,268 @@
+// Command diyctl demonstrates operating DIY deployments from the
+// command line against an in-process simulated provider.
+//
+// Usage:
+//
+//	diyctl demo      # full scenario: install, chat, mail, bill, migrate
+//	diyctl store     # app-store walkthrough: publish, install, report
+//	diyctl tcb       # print the trusted-computing-base comparison
+//	diyctl bill      # price the paper's Table 2 workloads
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	diy "repro"
+	"repro/internal/apps/email"
+	"repro/internal/apps/iot"
+	"repro/internal/cloudsim/sim"
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("diyctl: ")
+	flag.Usage = usage
+	flag.Parse()
+
+	cmd := flag.Arg(0)
+	var err error
+	switch cmd {
+	case "demo":
+		err = demo()
+	case "store":
+		err = storeDemo()
+	case "tcb":
+		fmt.Println(diy.NewTCBReport())
+	case "attest":
+		err = attestDemo()
+	case "stream":
+		err = streamDemo()
+	case "bill":
+		fmt.Println(experiments.RenderTable2(experiments.RunTable2()))
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: diyctl <demo|store|attest|stream|tcb|bill>")
+}
+
+// demo runs the end-to-end scenario: deploy chat and email for a user,
+// exchange traffic, print the bill, then migrate providers.
+func demo() error {
+	fmt.Println("== DIY demo: deploy it yourself ==")
+	aws, err := diy.NewCloud(diy.CloudOptions{Name: "aws-sim"})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\n-- installing group chat for user 'casey' (members casey, dana)")
+	room, err := diy.InstallChat(aws, "casey", "casey", "dana")
+	if err != nil {
+		return err
+	}
+	casey := diy.NewChatClient(room, "casey", "laptop")
+	dana := diy.NewChatClient(room, "dana", "phone")
+	if _, err := casey.Session(); err != nil {
+		return err
+	}
+	if _, err := dana.Session(); err != nil {
+		return err
+	}
+	stats, err := casey.Send("the chat history never exists in plaintext on the provider")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   sent one message: run %v, billed %v, region %s\n",
+		stats.RunTime.Round(time.Millisecond), stats.BilledTime, stats.Region)
+	msgs, err := dana.Receive(nil, 20*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   dana received %d message(s) via SQS long poll\n", len(msgs))
+
+	fmt.Println("\n-- installing email for user 'casey'")
+	mailbox, err := diy.Install(aws, "casey", diy.EmailApp{SpamFilter: diy.NewSpamFilter()})
+	if err != nil {
+		return err
+	}
+	inCtx := &sim.Context{App: "email", Cursor: sim.NewCursor(aws.Clock.Now())}
+	raw := "From: friend@remote.net\r\nSubject: lunch?\r\n\r\nnoon at the usual place?\r\n"
+	if err := aws.SES.Deliver(inCtx, "friend@remote.net", "casey@"+email.MailDomain, []byte(raw)); err != nil {
+		return err
+	}
+	resp, _, err := mailbox.Invoke(mailbox.ClientContext(), "list", nil)
+	if err != nil {
+		return err
+	}
+	var entries []email.IndexEntry
+	if err := json.Unmarshal(resp.Body, &entries); err != nil {
+		return err
+	}
+	fmt.Printf("   mailbox index: %d message(s), first subject %q\n", len(entries), entries[0].Subject)
+
+	fmt.Println("\n-- current bill (everything inside the free tiers):")
+	fmt.Print(indent(aws.Bill().String()))
+
+	fmt.Println("\n-- migrating the chat room to another provider")
+	gcp, err := diy.NewCloud(diy.CloudOptions{Name: "gcp-sim"})
+	if err != nil {
+		return err
+	}
+	moved, err := diy.Migrate(room, gcp, true)
+	if err != nil {
+		return err
+	}
+	casey2 := diy.NewChatClient(moved, "casey", "laptop")
+	if _, err := casey2.Session(); err != nil {
+		return err
+	}
+	hist, err := casey2.History()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   history intact after migration: %d message(s); source provider wiped\n", len(hist))
+	return nil
+}
+
+// attestDemo walks the §8.2 enclave attestation flow, including the
+// tamper case.
+func attestDemo() error {
+	fmt.Println("== enclave attestation (paper §3.3 / §8.2) ==")
+	cloud, err := diy.NewCloud(diy.CloudOptions{})
+	if err != nil {
+		return err
+	}
+	d, err := diy.Install(cloud, "casey", diy.IoTApp{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n-- attested request against the honest deployment")
+	resp, _, err := d.InvokeAttested(d.ClientContext(), "dashboard", nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   quote verified, request served (status %d)\n", resp.Status)
+
+	fmt.Println("\n-- the provider swaps the deployment package behind the user's back")
+	err = cloud.Lambda.ReplaceCode(d.FnName, []byte("diy-iot:controller:v1-backdoored"), nil)
+	if err != nil {
+		return err
+	}
+	_, _, err = d.InvokeAttested(d.ClientContext(), "dashboard", nil)
+	if err == nil {
+		return fmt.Errorf("tampered code passed attestation")
+	}
+	fmt.Printf("   attested client refused: %v\n", err)
+	return nil
+}
+
+// streamDemo prints the §8.3 suspend/resume comparison.
+func streamDemo() error {
+	fmt.Println("== §8.3 extension: long-lived TCP sessions on serverless ==")
+	points, err := experiments.RunStreamingComparison(0)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(experiments.RenderStreaming(points))
+	return nil
+}
+
+// storeDemo walks the §8.1 app store.
+func storeDemo() error {
+	fmt.Println("== DIY app store (paper §8.1) ==")
+	cloud, err := diy.NewCloud(diy.CloudOptions{})
+	if err != nil {
+		return err
+	}
+	s := diy.NewStore(cloud)
+	err = s.Publish(diy.Manifest{
+		Name: "iot", Version: 1, Publisher: "diy-labs",
+		Description: "smart home controller",
+		Audited:     true,
+		Permissions: []string{"1 storage bucket (ciphertext only)", "1 KMS key", "2 queues"},
+		App:         iot.App{AlertRules: map[string]float64{"temperature_c": 60}},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n-- catalog:")
+	for _, m := range s.Catalog() {
+		fmt.Printf("   %s v%d by %s (audited: %v) — %s\n      permissions: %v\n",
+			m.Name, m.Version, m.Publisher, m.Audited, m.Description, m.Permissions)
+	}
+	d, err := s.Install("casey", "iot")
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n-- one-click installed for 'casey'; registering a device and querying it")
+	for _, op := range []struct{ op, body string }{
+		{"register", `{"name":"thermostat","kind":"climate"}`},
+		{"command", `{"device":"thermostat","action":"read"}`},
+		{"dashboard", ""},
+	} {
+		resp, _, err := d.Invoke(d.ClientContext(), op.op, []byte(op.body))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   %-10s -> %d %s\n", op.op, resp.Status, truncate(string(resp.Body), 80))
+	}
+	fmt.Println("\n-- per-app resource report:")
+	for _, r := range s.Report("casey") {
+		fmt.Printf("   %s: %.0f requests, %.3f GB-s, %d bytes stored, %.0f queue ops\n",
+			r.App, r.LambdaRequests, r.GBSeconds, r.StorageBytes, r.SQSRequests)
+	}
+	fmt.Println("\n-- per-app cost (list price) and account bill:")
+	costs, accountTotal := s.Costs("casey")
+	for _, c := range costs {
+		fmt.Printf("   %-12s $%.6f/month at list price\n", c.App, c.ListPrice.Dollars())
+	}
+	fmt.Printf("   account bill after free tiers: %s\n", accountTotal)
+	if st, ok := cloud.Gateway.Stats(d.Endpoint); ok {
+		fmt.Printf("\n-- endpoint %s: %d served, %d throttled, mean run %v\n",
+			d.Endpoint, st.Requests, st.Rejected, st.MeanRun.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "   " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,128 @@
+// Package diy is the public API of the DIY ("Deploy It Yourself")
+// hosting library, a full reproduction of "DIY Hosting for Online
+// Privacy" (Palkar & Zaharia, HotNets 2017).
+//
+// DIY hosts personal online services — group chat, email, file
+// transfer, IoT control, video conferencing — on a serverless platform
+// instead of always-on servers or centralized providers. User data is
+// envelope-encrypted at rest; decryption keys live in a key management
+// service and are released only to the deployment's function role; the
+// trusted computing base shrinks to {container isolation, KMS, the
+// audited app}. Pay-per-request billing makes a highly available
+// private service cost cents per month.
+//
+// # Quick start
+//
+//	cloud, _ := diy.NewCloud(diy.CloudOptions{})
+//	room, _ := diy.InstallChat(cloud, "alice", "alice", "bob")
+//	a := diy.NewChatClient(room, "alice", "laptop")
+//	b := diy.NewChatClient(room, "bob", "phone")
+//	a.Session()
+//	b.Session()
+//	a.Send("hello bob — nobody else can read this")
+//	msgs, _ := b.Receive(nil, 20*time.Second)
+//	fmt.Println(cloud.Bill())
+//
+// Everything runs against a faithful in-process simulation of the 2017
+// AWS substrate (Lambda, S3, KMS, SQS, SES, EC2, API Gateway, IAM)
+// with the published prices and calibrated latencies; see DESIGN.md
+// for the substitution map and EXPERIMENTS.md for the regenerated
+// paper tables.
+package diy
+
+import (
+	"repro/internal/apps/chat"
+	"repro/internal/apps/email"
+	"repro/internal/apps/filetransfer"
+	"repro/internal/apps/iot"
+	"repro/internal/apps/video"
+	"repro/internal/core"
+	"repro/internal/spam"
+	"repro/internal/store"
+)
+
+// Core model types.
+type (
+	// Cloud is one simulated provider: the full service stack the DIY
+	// architecture needs, plus billing and attestation.
+	Cloud = core.Cloud
+	// CloudOptions configures NewCloud.
+	CloudOptions = core.CloudOptions
+	// Deployment is one user's installation of one app on one cloud.
+	Deployment = core.Deployment
+	// App is a DIY application: a serverless handler plus its
+	// resource declaration.
+	App = core.App
+	// AppSpec declares an app's resource requirements.
+	AppSpec = core.AppSpec
+	// TCBReport compares DIY's trusted computing base against a
+	// centralized provider's.
+	TCBReport = core.TCBReport
+	// Store is the §8.1 "DIY app store".
+	Store = store.Store
+	// Manifest describes one published app version in a Store.
+	Manifest = store.Manifest
+)
+
+// Application types.
+type (
+	// ChatApp is the §6.2 XMPP-over-HTTPS group chat prototype.
+	ChatApp = chat.App
+	// ChatClient is one member's chat client.
+	ChatClient = chat.Client
+	// EmailApp is the DIY email service.
+	EmailApp = email.App
+	// FileTransferApp is the AirDrop-like transfer service.
+	FileTransferApp = filetransfer.App
+	// IoTApp is the smart-home controller.
+	IoTApp = iot.App
+	// VideoCall is a private conference on a dedicated relay VM.
+	VideoCall = video.Call
+	// SpamFilter is the SpamAssassin-style detector the email app can
+	// carry.
+	SpamFilter = spam.Filter
+)
+
+// NewCloud builds a fully wired simulated provider.
+func NewCloud(opts CloudOptions) (*Cloud, error) { return core.NewCloud(opts) }
+
+// Install provisions an app for a user: bucket (ciphertext-only), KMS
+// key, queues, least-privilege roles, function, triggers.
+func Install(cloud *Cloud, user string, app App) (*Deployment, error) {
+	return core.Install(cloud, user, app)
+}
+
+// Migrate moves a deployment to another provider; only ciphertext
+// crosses, and the data key is re-wrapped in KMS custody.
+func Migrate(d *Deployment, dest *Cloud, deleteSource bool) (*Deployment, error) {
+	return core.Migrate(d, dest, deleteSource)
+}
+
+// Upgrade replaces a deployment's code with a new app version,
+// preserving its data and identity.
+func Upgrade(d *Deployment, newApp App) error { return core.Upgrade(d, newApp) }
+
+// NewStore returns an empty app store bound to a cloud.
+func NewStore(cloud *Cloud) *Store { return store.New(cloud) }
+
+// NewTCBReport returns the §3.3 trusted-computing-base comparison.
+func NewTCBReport() TCBReport { return core.NewTCBReport() }
+
+// InstallChat deploys a chat room for user with the given members.
+func InstallChat(cloud *Cloud, user string, members ...string) (*Deployment, error) {
+	return chat.Install(cloud, user, chat.App{Members: members})
+}
+
+// NewChatClient creates a client for a member of a chat deployment.
+func NewChatClient(d *Deployment, member, resource string) *ChatClient {
+	return chat.NewClient(d, member, resource)
+}
+
+// NewSpamFilter returns the default-rule spam filter.
+func NewSpamFilter() *SpamFilter { return spam.NewFilter() }
+
+// StartVideoCall launches a relay VM for a private conference. Pass
+// instanceType "" for the paper's t2.medium.
+func StartVideoCall(cloud *Cloud, user, instanceType string) (*VideoCall, error) {
+	return video.StartCall(cloud, user, instanceType, cloud.Clock.Now())
+}

@@ -1,0 +1,149 @@
+package diy_test
+
+import (
+	"testing"
+	"time"
+
+	diy "repro"
+)
+
+// TestPublicAPIQuickstart exercises the doc-comment example verbatim.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cloud, err := diy.NewCloud(diy.CloudOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	room, err := diy.InstallChat(cloud, "alice", "alice", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := diy.NewChatClient(room, "alice", "laptop")
+	b := diy.NewChatClient(room, "bob", "phone")
+	if _, err := a.Session(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Session(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Send("hello bob — nobody else can read this"); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := b.Receive(nil, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("bob received %d messages", len(msgs))
+	}
+	if cloud.Bill().Total() < 0 {
+		t.Fatal("negative bill")
+	}
+}
+
+func TestPublicAPIMigrate(t *testing.T) {
+	src, err := diy.NewCloud(diy.CloudOptions{Name: "aws-sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := diy.NewCloud(diy.CloudOptions{Name: "gcp-sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	room, err := diy.InstallChat(src, "alice", "alice", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := diy.NewChatClient(room, "alice", "laptop")
+	if _, err := a.Session(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Send("pre-migration history"); err != nil {
+		t.Fatal(err)
+	}
+
+	moved, err := diy.Migrate(room, dst, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := diy.NewChatClient(moved, "alice", "laptop")
+	if _, err := a2.Session(); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := a2.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 || hist[0].Body != "pre-migration history" {
+		t.Fatalf("history after migration = %v", hist)
+	}
+}
+
+func TestPublicAPIStore(t *testing.T) {
+	cloud, err := diy.NewCloud(diy.CloudOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := diy.NewStore(cloud)
+	err = s.Publish(diy.Manifest{
+		Name: "iot", Version: 1, Publisher: "diy-labs", Audited: true,
+		App: diy.IoTApp{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Install("alice", "iot"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Report("alice")) != 1 {
+		t.Fatal("resource report missing")
+	}
+}
+
+func TestPublicAPITCB(t *testing.T) {
+	if diy.NewTCBReport().Ratio() <= 1 {
+		t.Fatal("TCB comparison must favor DIY")
+	}
+}
+
+func TestPublicAPIVideoCall(t *testing.T) {
+	cloud, err := diy.NewCloud(diy.CloudOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, err := diy.StartVideoCall(cloud, "alice", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := call.Simulate(time.Hour, 3.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := call.End(cloud.Clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// ≈ $0.11 for the hour-long HD call (no free tier on EC2 compute;
+	// the 1 GB transfer allowance trims a cent or two).
+	total := cloud.Bill().Total().Dollars()
+	if total < 0.04 || total > 0.18 {
+		t.Fatalf("hour-long call billed $%.3f", total)
+	}
+}
+
+func TestPublicAPIUpgrade(t *testing.T) {
+	cloud, err := diy.NewCloud(diy.CloudOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	room, err := diy.InstallChat(cloud, "alice", "alice", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upgrading to the same app (a no-op new version) preserves the
+	// deployment.
+	if err := diy.Upgrade(room, diy.ChatApp{Members: []string{"alice", "bob"}}); err != nil {
+		t.Fatal(err)
+	}
+	a := diy.NewChatClient(room, "alice", "laptop")
+	if _, err := a.Session(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Groupchat replays the paper's calibration workload — "the authors'
+// Slack group sends an average of 5000 Slack messages per week among a
+// group of 15 people" — through a DIY chat deployment for a simulated
+// week, then prices the month. It also serves the deployment over a
+// real TCP socket through the gateway's net/http adapter and sends one
+// stanza through it, demonstrating the XMPP-over-HTTPS tunnel on real
+// sockets.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	diy "repro"
+	"repro/internal/apps/chat"
+	"repro/internal/pricing"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cloud, err := diy.NewCloud(diy.CloudOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	group := workload.PaperSlackGroup()
+	room, err := diy.Install(cloud, "team", chat.App{Members: group.Members})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One client per member, all sessioned.
+	clients := make(map[string]*chat.Client, len(group.Members))
+	for _, m := range group.Members {
+		c := chat.NewClient(room, m, "desktop")
+		if _, err := c.Session(); err != nil {
+			log.Fatal(err)
+		}
+		clients[m] = c
+	}
+
+	// Replay one simulated week of the trace.
+	span := 7 * 24 * time.Hour
+	events := group.Trace(cloud.Clock.Now(), span)
+	fmt.Printf("replaying %d messages (%.0f/week) from %d members over a simulated week...\n",
+		len(events), float64(len(events)), len(group.Members))
+
+	var runs []time.Duration
+	perSender := make(map[string]int)
+	for _, ev := range events {
+		cloud.Clock.Set(ev.At)
+		stats, err := clients[ev.From].Send(ev.Body)
+		if err != nil {
+			log.Fatalf("send from %s: %v", ev.From, err)
+		}
+		runs = append(runs, stats.RunTime)
+		perSender[ev.From]++
+	}
+	// Storage accrues for the month the data sits there.
+	cloud.S3.AccrueStorage(pricing.Month, "chat")
+
+	sort.Slice(runs, func(i, j int) bool { return runs[i] < runs[j] })
+	fmt.Printf("median run %v, p99 %v, history bytes stored %d\n",
+		runs[len(runs)/2].Round(time.Millisecond),
+		runs[len(runs)*99/100].Round(time.Millisecond),
+		cloud.S3.StorageBytes(room.Bucket))
+
+	top := ""
+	best := 0
+	for m, n := range perSender {
+		if n > best {
+			top, best = m, n
+		}
+	}
+	fmt.Printf("chattiest member: %s (%d messages)\n", top, best)
+
+	fmt.Println("\nmonth bill for the whole group's service:")
+	fmt.Print(cloud.Bill())
+
+	// --- Real sockets: serve the same deployment over TCP. ---
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: cloud.Gateway}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	stanza := fmt.Sprintf(
+		`<message from="member00@%s/curl" to="room@%s" type="groupchat" id="tcp-1"><body>hello over real TCP</body></message>`,
+		chat.Domain, chat.Domain)
+	req, err := http.NewRequest("POST", "http://"+ln.Addr().String()+room.Endpoint, strings.NewReader(stanza))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("X-DIY-Op", "stanza")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("\nXMPP-over-HTTP(S) on a real socket %s -> %d %s\n",
+		ln.Addr(), resp.StatusCode, string(body))
+}

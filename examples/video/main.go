@@ -1,0 +1,64 @@
+// Video demonstrates the private conferencing relay: a t2.medium VM
+// (the paper's choice, since 2017 Lambda cannot hold multiple
+// connections) fans frames out between participants, bills per second,
+// and the hour-long HD call lands at the paper's $0.11.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	diy "repro"
+	"repro/internal/apps/video"
+	"repro/internal/pricing"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cloud, err := diy.NewCloud(diy.CloudOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	call, err := diy.StartVideoCall(cloud, "casey", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("launched a private t2.medium relay")
+
+	for _, p := range []string{"casey", "dana"} {
+		if err := call.Join(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A few real frames through the fan-out path.
+	for i := 0; i < 3; i++ {
+		if err := call.SendFrame(nil, "casey", []byte(fmt.Sprintf("keyframe-%d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	frames, err := call.RecvFrames("dana")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dana received %d frames through the relay\n", len(frames))
+
+	// Then an hour of steady HD call, modelled.
+	if err := call.Simulate(time.Hour, video.HDCallBandwidthMbps); err != nil {
+		log.Fatal(err)
+	}
+	in, out := call.TrafficBytes()
+	fmt.Printf("hour-long HD call: %.2f GB in, %.2f GB out through the relay\n",
+		float64(in)/1e9, float64(out)/1e9)
+
+	if err := call.End(cloud.Clock.Now()); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nbill for the call:")
+	fmt.Print(cloud.Bill())
+	fmt.Printf("\nclosed-form check (paper: \"roughly $0.11\"): %s\n",
+		video.CostOfCall(pricing.Default2017(), video.DefaultInstanceType, time.Hour, video.HDCallBandwidthMbps))
+}

@@ -1,0 +1,104 @@
+package email
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/proto/pop3"
+)
+
+// Maildrop adapts a DIY email deployment to the POP3 server in
+// internal/proto/pop3, completing the standard retrieval path: the
+// user's mail client speaks POP3 to a bridge running on their own
+// device, which calls the deployment's HTTPS operations; the provider
+// in the middle still only ever stores ciphertext.
+//
+// POP3 message numbers are the mailbox index IDs, which are stable for
+// the life of the mailbox.
+type Maildrop struct {
+	d *core.Deployment
+}
+
+// NewMaildrop returns a POP3 maildrop over the deployment.
+func NewMaildrop(d *core.Deployment) *Maildrop { return &Maildrop{d: d} }
+
+var _ pop3.Maildrop = (*Maildrop)(nil)
+
+// POP3Auth returns an Authenticator accepting the deployment's user
+// name with the given password.
+func POP3Auth(d *core.Deployment, password string) pop3.Authenticator {
+	return func(user, pass string) (pop3.Maildrop, error) {
+		if user != d.User || pass != password {
+			return nil, errors.New("email: bad credentials")
+		}
+		return NewMaildrop(d), nil
+	}
+}
+
+func (m *Maildrop) entries() ([]IndexEntry, error) {
+	resp, _, err := m.d.Invoke(m.d.ClientContext(), "list", nil)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 {
+		return nil, fmt.Errorf("email: list failed: %s", resp.Body)
+	}
+	var entries []IndexEntry
+	if err := json.Unmarshal(resp.Body, &entries); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// Stat implements pop3.Maildrop.
+func (m *Maildrop) Stat() (count, size int, err error) {
+	entries, err := m.entries()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, e := range entries {
+		size += e.Size
+	}
+	return len(entries), size, nil
+}
+
+// List implements pop3.Maildrop.
+func (m *Maildrop) List(n int) (map[int]int, error) {
+	entries, err := m.entries()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]int)
+	for _, e := range entries {
+		if n == 0 || n == e.ID {
+			out[e.ID] = e.Size
+		}
+	}
+	return out, nil
+}
+
+// Retr implements pop3.Maildrop.
+func (m *Maildrop) Retr(n int) ([]byte, error) {
+	resp, _, err := m.d.Invoke(m.d.ClientContext(), "fetch", []byte(fmt.Sprintf("%d", n)))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 {
+		return nil, fmt.Errorf("email: no such message %d", n)
+	}
+	return resp.Body, nil
+}
+
+// Dele implements pop3.Maildrop.
+func (m *Maildrop) Dele(n int) error {
+	resp, _, err := m.d.Invoke(m.d.ClientContext(), "delete", []byte(fmt.Sprintf("%d", n)))
+	if err != nil {
+		return err
+	}
+	if resp.Status != 200 {
+		return fmt.Errorf("email: delete %d failed: %s", n, resp.Body)
+	}
+	return nil
+}

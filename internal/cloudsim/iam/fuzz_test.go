@@ -1,0 +1,24 @@
+package iam
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzMatch checks the pattern matcher never panics and holds its
+// basic laws: "*" matches everything; a literal matches itself.
+func FuzzMatch(f *testing.F) {
+	f.Add("kms:*", "kms:Decrypt")
+	f.Add("bucket/*/audit", "bucket/a/audit")
+	f.Add("", "")
+	f.Add("***", "x")
+	f.Fuzz(func(t *testing.T, pattern, value string) {
+		Match(pattern, value)
+		if !Match("*", value) {
+			t.Fatalf("* failed to match %q", value)
+		}
+		if !strings.Contains(value, "*") && !Match(value, value) {
+			t.Fatalf("literal %q failed to match itself", value)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package lambda
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cloudsim/dynamo"
+	"repro/internal/cloudsim/kms"
+	"repro/internal/cloudsim/s3"
+	"repro/internal/cloudsim/sim"
+	"repro/internal/cloudsim/sqs"
+	"repro/internal/crypto/envelope"
+)
+
+// EmailSender is the outbound-email capability exposed to functions.
+// It is an interface so the lambda package does not depend on the ses
+// package (which depends on lambda for inbound triggers).
+type EmailSender interface {
+	Send(ctx *sim.Context, from string, to []string, raw []byte) error
+}
+
+// Services bundles the cloud services functions may call.
+type Services struct {
+	KMS    *kms.Service
+	S3     *s3.Service
+	SQS    *sqs.Service
+	Dynamo *dynamo.Service
+	Email  EmailSender
+}
+
+// SetServices wires the platform's service handles, exposed to handlers
+// through their Env.
+func (p *Platform) SetServices(s Services) {
+	p.mu.Lock()
+	p.services = s
+	p.mu.Unlock()
+}
+
+// Env is the execution environment handed to a Handler. It carries the
+// invocation's identity (the function's IAM role), its simulated
+// timeline, and the container-local state. All service calls made
+// through the Env are authenticated, metered and latency-accounted.
+type Env struct {
+	platform *Platform
+	fn       *Function
+	cont     *container
+	ctx      *sim.Context
+
+	peakMemory int64
+	secrets    [][]byte
+	logs       []string
+}
+
+// Ctx returns the invocation's call context: principal = the function's
+// role, cursor = the invocation timeline, memory = the allocation.
+func (e *Env) Ctx() *sim.Context { return e.ctx }
+
+// KMS returns the key management service handle.
+func (e *Env) KMS() *kms.Service { return e.platform.servicesSnapshot().KMS }
+
+// S3 returns the object store handle.
+func (e *Env) S3() *s3.Service { return e.platform.servicesSnapshot().S3 }
+
+// SQS returns the queue service handle.
+func (e *Env) SQS() *sqs.Service { return e.platform.servicesSnapshot().SQS }
+
+// Dynamo returns the low-latency table store handle, or nil if the
+// platform has none wired.
+func (e *Env) Dynamo() *dynamo.Service { return e.platform.servicesSnapshot().Dynamo }
+
+// Email returns the outbound email service, or nil if none is wired.
+func (e *Env) Email() EmailSender { return e.platform.servicesSnapshot().Email }
+
+// MemoryMB reports the container's memory allocation.
+func (e *Env) MemoryMB() int { return e.fn.MemoryMB }
+
+// Config returns a function environment value ("" if unset).
+func (e *Env) Config(key string) string { return e.fn.Config[key] }
+
+// Region reports where this invocation is running.
+func (e *Env) Region() string { return e.ctx.Region }
+
+// Compute declares d of modelled CPU work (encryption, parsing,
+// application logic), advancing the invocation timeline. The handler's
+// real Go execution time on the test machine is deliberately not used:
+// run time must be deterministic and calibrated to the 2017 platform.
+func (e *Env) Compute(d time.Duration) { e.ctx.Advance(d) }
+
+// RecordMemory reports a working-set size; the invocation's peak is
+// exposed in InvocationStats (the paper's "Peak Memory Used" row).
+func (e *Env) RecordMemory(bytes int64) {
+	if bytes > e.peakMemory {
+		e.peakMemory = bytes
+	}
+}
+
+// TrackSecret registers key material to be zeroed when the invocation
+// finishes, enforcing the paper's "the function only contains the key
+// in its memory during execution".
+func (e *Env) TrackSecret(secret []byte) { e.secrets = append(e.secrets, secret) }
+
+// DataKey returns the plaintext data key for a wrapped blob. With
+// CacheDataKeys enabled, warm containers reuse the unwrapped key and
+// skip the KMS round trip; otherwise every invocation calls KMS and the
+// key is scrubbed at invocation end.
+func (e *Env) DataKey(wrapped []byte) ([]byte, error) {
+	cacheKey := string(wrapped)
+	if e.fn.CacheDataKeys {
+		e.platform.mu.Lock()
+		cached, ok := e.cont.cache[cacheKey]
+		e.platform.mu.Unlock()
+		if ok {
+			return cached, nil
+		}
+	}
+	dk, err := e.KMS().Decrypt(e.ctx, wrapped)
+	if err != nil {
+		return nil, fmt.Errorf("lambda: unwrapping data key: %w", err)
+	}
+	if e.fn.CacheDataKeys {
+		e.platform.mu.Lock()
+		e.cont.cache[cacheKey] = dk
+		e.platform.mu.Unlock()
+	} else {
+		e.TrackSecret(dk)
+	}
+	return dk, nil
+}
+
+// Logf records a diagnostic line on the invocation.
+func (e *Env) Logf(format string, args ...any) {
+	e.logs = append(e.logs, fmt.Sprintf(format, args...))
+}
+
+// Logs returns the lines recorded during the invocation.
+func (e *Env) Logs() []string { return e.logs }
+
+// finish scrubs per-invocation secrets.
+func (e *Env) finish() {
+	for _, s := range e.secrets {
+		envelope.Zero(s)
+	}
+	e.secrets = nil
+}
+
+func (p *Platform) servicesSnapshot() Services {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.services
+}

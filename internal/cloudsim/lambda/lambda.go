@@ -1,0 +1,601 @@
+// Package lambda simulates the serverless computing platform at the
+// heart of DIY: functions registered with a memory allocation, invoked
+// per request in isolated containers, billed in 100 ms increments of
+// GB-seconds, scaled and georeplicated transparently.
+//
+// The simulator reproduces the cost- and latency-relevant mechanics of
+// 2017 AWS Lambda:
+//
+//   - pay-per-request billing ($0.20/M requests + $0.00001667/GB-s,
+//     metered through internal/pricing);
+//   - execution time billed in 100 ms quanta — the reason the paper's
+//     chat prototype runs 134 ms but bills 200 ms;
+//   - cold starts when no warm container exists, with a configurable
+//     warm-pool TTL;
+//   - I/O bandwidth and latency proportional to the memory allocation
+//     (via sim.Context.FunctionMemMB, consumed by the S3 simulator);
+//   - multi-region replicas with transparent failover when a region is
+//     down.
+package lambda
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cloudsim/clock"
+	"repro/internal/cloudsim/metrics"
+	"repro/internal/cloudsim/netsim"
+	"repro/internal/cloudsim/sim"
+	"repro/internal/crypto/envelope"
+	"repro/internal/pricing"
+)
+
+// Memory limits of the 2017 platform: "Lambda allocates functions a
+// limited amount of memory (128MB to 1.5GB at the time of writing)".
+const (
+	MinMemoryMB = 128
+	MaxMemoryMB = 1536
+)
+
+// DefaultWarmTTL is how long an idle container stays warm.
+const DefaultWarmTTL = 5 * time.Minute
+
+// DefaultTimeout is the maximum function execution time.
+const DefaultTimeout = 5 * time.Minute
+
+// DefaultConcurrencyLimit is the 2017 account-wide concurrent
+// execution limit.
+const DefaultConcurrencyLimit = 1000
+
+// Errors returned by the platform.
+var (
+	ErrNoSuchFunction = errors.New("lambda: no such function")
+	ErrAllRegionsDown = errors.New("lambda: no healthy region")
+	ErrTimeout        = errors.New("lambda: function timed out")
+	// ErrConcurrencyLimit is the platform-side throttle when the
+	// account's concurrent executions are exhausted (a 429 on AWS).
+	ErrConcurrencyLimit = errors.New("lambda: concurrent execution limit reached")
+)
+
+// Event is the input delivered to a function invocation.
+type Event struct {
+	// Source identifies the trigger class: "https", "ses", "schedule".
+	Source string
+	// Path is the HTTPS endpoint path for gateway-triggered events.
+	Path string
+	// Op is the application-level operation name.
+	Op string
+	// Body is the request payload.
+	Body []byte
+	// Attrs carries string metadata (headers, sender address, ...).
+	Attrs map[string]string
+}
+
+// Response is a function's reply.
+type Response struct {
+	Status int
+	Body   []byte
+	Attrs  map[string]string
+}
+
+// Handler is the code of a serverless function. Its service calls go
+// through the Env so latency, billing and the threat-model boundary are
+// enforced by the runtime.
+type Handler func(env *Env, event Event) (Response, error)
+
+// Function is a registered serverless function.
+type Function struct {
+	Name string
+	// Handler runs for each request.
+	Handler Handler
+	// MemoryMB is the container memory allocation; it determines both
+	// the GB-seconds price and the I/O performance.
+	MemoryMB int
+	// Timeout bounds execution time (DefaultTimeout if zero).
+	Timeout time.Duration
+	// Role is the IAM principal the function's service calls act as.
+	Role string
+	// App labels metered usage for the app store's resource report.
+	App string
+	// Regions lists the regions the function is replicated to, in
+	// preference order. Empty means []string{"us-west-2"}.
+	Regions []string
+	// Code is the deployment package bytes; its SHA-256 is the
+	// function's attestation measurement. The paper assumes function
+	// code "may be unencrypted and accessible by adversaries" but is
+	// faithfully executed — the hash is what an enclave would attest.
+	Code []byte
+	// CacheDataKeys lets warm containers retain unwrapped data keys
+	// between invocations, the standard KMS data-key-caching practice
+	// that keeps marginal KMS request cost at zero. Keys are scrubbed
+	// when the container is evicted.
+	CacheDataKeys bool
+	// Config is the function's environment configuration (bucket
+	// names, wrapped key blobs, queue names), the analog of Lambda
+	// environment variables. Note the paper's assumption: stored
+	// function configuration "may be unencrypted and accessible by
+	// adversaries", which is why only the *wrapped* data key may be
+	// placed here.
+	Config map[string]string
+}
+
+// Measurement returns the SHA-256 of the deployment package, the value
+// a hardware enclave would attest (§3.3 "Securing DIY with Enclaves").
+func (f *Function) Measurement() [32]byte { return sha256.Sum256(f.Code) }
+
+// InvocationStats reports one invocation's accounting.
+type InvocationStats struct {
+	// RunTime is the modelled execution duration (compute + service
+	// I/O) — the paper's "Lambda Time Run".
+	RunTime time.Duration
+	// BilledTime is RunTime rounded up to the 100 ms quantum — the
+	// paper's "Lambda Time Billed".
+	BilledTime time.Duration
+	// GBSeconds is the billed compute: BilledTime × memory.
+	GBSeconds float64
+	// ColdStart reports whether a new container was provisioned.
+	ColdStart bool
+	// PeakMemoryBytes is the handler-reported peak working set.
+	PeakMemoryBytes int64
+	// Region is where the invocation ran.
+	Region string
+}
+
+// container is one warm execution environment.
+type container struct {
+	id       int64
+	region   string
+	busy     bool
+	lastUsed time.Time
+	cache    map[string][]byte
+}
+
+func (c *container) scrub() {
+	for k, v := range c.cache {
+		envelope.Zero(v)
+		delete(c.cache, k)
+	}
+}
+
+// functionState tracks a registered function and its containers.
+type functionState struct {
+	fn          Function
+	containers  []*container
+	invocations int64
+	coldStarts  int64
+}
+
+// Platform is the simulated serverless platform. It is safe for
+// concurrent use.
+type Platform struct {
+	meter *pricing.Meter
+	model *netsim.Model
+	clk   clock.Clock
+
+	mu       sync.Mutex
+	services Services
+	fns      map[string]*functionState
+	triggers map[string]string // "source/key" -> function name
+	nextCID  int64
+	warmTTL  time.Duration
+
+	concLimit  int
+	concurrent int
+	metrics    *metrics.Service
+}
+
+// New returns a platform wired to the meter, the network model and a
+// clock (used for warm-pool aging in wall-clock mode).
+func New(meter *pricing.Meter, model *netsim.Model, clk clock.Clock) *Platform {
+	if clk == nil {
+		clk = clock.Wall{}
+	}
+	return &Platform{
+		meter:     meter,
+		model:     model,
+		clk:       clk,
+		fns:       make(map[string]*functionState),
+		triggers:  make(map[string]string),
+		warmTTL:   DefaultWarmTTL,
+		concLimit: DefaultConcurrencyLimit,
+	}
+}
+
+// SetMetrics wires a monitoring service; each invocation then
+// publishes run-ms, billed-ms, peak-mb and cold samples under the
+// function's name (the CloudWatch statistics the paper's Table 3 was
+// measured from).
+func (p *Platform) SetMetrics(m *metrics.Service) {
+	p.mu.Lock()
+	p.metrics = m
+	p.mu.Unlock()
+}
+
+// SetConcurrencyLimit overrides the account's concurrent execution
+// limit (non-positive restores the default).
+func (p *Platform) SetConcurrencyLimit(n int) {
+	if n <= 0 {
+		n = DefaultConcurrencyLimit
+	}
+	p.mu.Lock()
+	p.concLimit = n
+	p.mu.Unlock()
+}
+
+// Concurrent reports the number of in-flight invocations.
+func (p *Platform) Concurrent() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.concurrent
+}
+
+// SetWarmTTL overrides the warm-pool idle TTL (for the cold-start
+// ablation).
+func (p *Platform) SetWarmTTL(d time.Duration) {
+	p.mu.Lock()
+	p.warmTTL = d
+	p.mu.Unlock()
+}
+
+// RegisterFunction installs a function. The memory allocation is
+// clamped into the platform's limits and rounded up to a 64 MB step.
+func (p *Platform) RegisterFunction(fn Function) error {
+	if fn.Name == "" {
+		return errors.New("lambda: function must have a name")
+	}
+	if fn.Handler == nil {
+		return fmt.Errorf("lambda: function %q has no handler", fn.Name)
+	}
+	if fn.MemoryMB < MinMemoryMB {
+		fn.MemoryMB = MinMemoryMB
+	}
+	if fn.MemoryMB > MaxMemoryMB {
+		fn.MemoryMB = MaxMemoryMB
+	}
+	if rem := fn.MemoryMB % 64; rem != 0 {
+		fn.MemoryMB += 64 - rem
+	}
+	if fn.Timeout <= 0 {
+		fn.Timeout = DefaultTimeout
+	}
+	if len(fn.Regions) == 0 {
+		fn.Regions = []string{"us-west-2"}
+	}
+	if len(fn.Code) == 0 {
+		fn.Code = []byte("package:" + fn.Name)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, exists := p.fns[fn.Name]; exists {
+		return fmt.Errorf("lambda: function %q already registered", fn.Name)
+	}
+	p.fns[fn.Name] = &functionState{fn: fn}
+	return nil
+}
+
+// RemoveFunction deletes a function, scrubbing all its containers.
+func (p *Platform) RemoveFunction(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.fns[name]
+	if !ok {
+		return fmt.Errorf("lambda: %q: %w", name, ErrNoSuchFunction)
+	}
+	for _, c := range st.containers {
+		c.scrub()
+	}
+	delete(p.fns, name)
+	for k, v := range p.triggers {
+		if v == name {
+			delete(p.triggers, k)
+		}
+	}
+	return nil
+}
+
+// Function returns a copy of a registered function's definition.
+func (p *Platform) Function(name string) (Function, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.fns[name]
+	if !ok {
+		return Function{}, false
+	}
+	return st.fn, true
+}
+
+// ReplaceCode swaps a function's deployment package without going
+// through the owner's deployment flow — the adversarial action (a
+// compromised marketplace or provider-side tamper) that enclave
+// attestation (§3.3/§8.2) exists to detect. The handler is also
+// replaced when newHandler is non-nil.
+func (p *Platform) ReplaceCode(fnName string, code []byte, newHandler Handler) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.fns[fnName]
+	if !ok {
+		return fmt.Errorf("lambda: %q: %w", fnName, ErrNoSuchFunction)
+	}
+	st.fn.Code = append([]byte(nil), code...)
+	if newHandler != nil {
+		st.fn.Handler = newHandler
+	}
+	return nil
+}
+
+// UpdateConfig merges key/value pairs into a function's environment
+// configuration (e.g. rebinding the wrapped data key after migration).
+func (p *Platform) UpdateConfig(fnName string, kv map[string]string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.fns[fnName]
+	if !ok {
+		return fmt.Errorf("lambda: %q: %w", fnName, ErrNoSuchFunction)
+	}
+	if st.fn.Config == nil {
+		st.fn.Config = make(map[string]string)
+	}
+	for k, v := range kv {
+		st.fn.Config[k] = v
+	}
+	// Config changes invalidate warm containers (new deployment).
+	for _, c := range st.containers {
+		c.scrub()
+	}
+	st.containers = nil
+	return nil
+}
+
+// RegisterTrigger routes events of the given source and key (e.g.
+// source "ses", key "alice@example.com") to a function.
+func (p *Platform) RegisterTrigger(source, key, fnName string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.fns[fnName]; !ok {
+		return fmt.Errorf("lambda: trigger target %q: %w", fnName, ErrNoSuchFunction)
+	}
+	p.triggers[source+"/"+key] = fnName
+	return nil
+}
+
+// TriggerTarget resolves a trigger to its function name.
+func (p *Platform) TriggerTarget(source, key string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fn, ok := p.triggers[source+"/"+key]
+	return fn, ok
+}
+
+// InvokeTrigger fires the function registered for a trigger.
+func (p *Platform) InvokeTrigger(ctx *sim.Context, source, key string, event Event) (Response, InvocationStats, error) {
+	fnName, ok := p.TriggerTarget(source, key)
+	if !ok {
+		return Response{}, InvocationStats{}, fmt.Errorf("lambda: no trigger %s/%s: %w", source, key, ErrNoSuchFunction)
+	}
+	return p.Invoke(ctx, fnName, event)
+}
+
+// Invoke runs a function for one event. The caller's cursor (if any)
+// advances by the dispatch latency plus the function's full run time.
+func (p *Platform) Invoke(ctx *sim.Context, fnName string, event Event) (Response, InvocationStats, error) {
+	p.mu.Lock()
+	st, ok := p.fns[fnName]
+	if !ok {
+		p.mu.Unlock()
+		return Response{}, InvocationStats{}, fmt.Errorf("lambda: %q: %w", fnName, ErrNoSuchFunction)
+	}
+	if p.concurrent >= p.concLimit {
+		p.mu.Unlock()
+		return Response{}, InvocationStats{}, fmt.Errorf("lambda: %d executions in flight: %w", p.concLimit, ErrConcurrencyLimit)
+	}
+	p.concurrent++
+	defer func() {
+		p.mu.Lock()
+		p.concurrent--
+		p.mu.Unlock()
+	}()
+	fn := st.fn
+	warmTTL := p.warmTTL
+	p.mu.Unlock()
+
+	// Region selection with transparent failover: first healthy
+	// replica wins; a failed-over request pays inter-region latency.
+	region, hops, err := p.pickRegion(fn.Regions)
+	if err != nil {
+		return Response{}, InvocationStats{}, err
+	}
+	if ctx != nil {
+		for i := 0; i < hops; i++ {
+			ctx.Advance(p.sample(netsim.HopInterRegion))
+		}
+		ctx.Advance(p.sample(netsim.HopGatewayDispatch))
+	}
+
+	// The invocation runs on its own cursor forked from the caller so
+	// run time is measured independently of upstream latency.
+	start := p.instant(ctx)
+	invCursor := sim.NewCursor(start)
+
+	cont, cold := p.acquireContainer(st, region, start)
+	stats := InvocationStats{ColdStart: cold, Region: region}
+	if cold {
+		invCursor.Advance(p.sample(netsim.HopColdStart))
+	}
+
+	env := &Env{
+		platform: p,
+		fn:       &fn,
+		cont:     cont,
+		ctx: &sim.Context{
+			Principal:     fn.Role,
+			App:           fn.App,
+			Region:        region,
+			Cursor:        invCursor,
+			FunctionMemMB: fn.MemoryMB,
+		},
+	}
+
+	resp, herr := fn.Handler(env, event)
+	env.finish()
+
+	run := invCursor.Elapsed()
+	timedOut := run > fn.Timeout
+	if timedOut {
+		run = fn.Timeout
+	}
+	stats.RunTime = run
+	stats.BilledTime = billQuantum(run)
+	stats.GBSeconds = stats.BilledTime.Seconds() * float64(fn.MemoryMB) / 1024.0
+	stats.PeakMemoryBytes = env.peakMemory
+
+	// Metering: one request plus billed GB-seconds.
+	p.meter.Add(pricing.Usage{Kind: pricing.LambdaRequests, Quantity: 1, App: fn.App})
+	p.meter.Add(pricing.Usage{Kind: pricing.LambdaGBSeconds, Quantity: stats.GBSeconds, App: fn.App})
+
+	// The caller's timeline absorbs the whole execution.
+	if ctx != nil {
+		ctx.Advance(run)
+	}
+
+	// Publish monitoring samples.
+	p.mu.Lock()
+	mon := p.metrics
+	p.mu.Unlock()
+	if mon != nil {
+		mon.Record(fnName, "run-ms", start, float64(stats.RunTime)/float64(time.Millisecond))
+		mon.Record(fnName, "billed-ms", start, float64(stats.BilledTime)/float64(time.Millisecond))
+		mon.Record(fnName, "peak-mb", start, float64(stats.PeakMemoryBytes)/(1<<20))
+		coldVal := 0.0
+		if stats.ColdStart {
+			coldVal = 1
+		}
+		mon.Record(fnName, "cold", start, coldVal)
+	}
+
+	// Release the container.
+	p.mu.Lock()
+	st.invocations++
+	if cold {
+		st.coldStarts++
+	}
+	cont.busy = false
+	cont.lastUsed = maxTime(p.instant(ctx), invCursor.Now())
+	if !fn.CacheDataKeys {
+		cont.scrub()
+	}
+	p.mu.Unlock()
+
+	// Evict containers idle beyond the TTL so their cached secrets die.
+	p.evictIdle(st, warmTTL, cont.lastUsed)
+
+	if timedOut {
+		return Response{}, stats, fmt.Errorf("lambda: %q after %v: %w", fnName, fn.Timeout, ErrTimeout)
+	}
+	return resp, stats, herr
+}
+
+// Stats reports a function's lifetime invocation and cold-start counts.
+func (p *Platform) Stats(fnName string) (invocations, coldStarts int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.fns[fnName]; ok {
+		return st.invocations, st.coldStarts
+	}
+	return 0, 0
+}
+
+// WarmContainers reports how many warm containers a function holds.
+func (p *Platform) WarmContainers(fnName string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.fns[fnName]; ok {
+		return len(st.containers)
+	}
+	return 0
+}
+
+func (p *Platform) pickRegion(regions []string) (region string, hops int, err error) {
+	for i, r := range regions {
+		if p.model == nil || p.model.RegionUp(r) {
+			return r, i, nil
+		}
+	}
+	return "", 0, ErrAllRegionsDown
+}
+
+func (p *Platform) acquireContainer(st *functionState, region string, now time.Time) (*container, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range st.containers {
+		if c.busy || c.region != region {
+			continue
+		}
+		if p.warmTTL > 0 && now.Sub(c.lastUsed) > p.warmTTL {
+			continue // stale; eviction will collect it
+		}
+		c.busy = true
+		return c, false
+	}
+	p.nextCID++
+	c := &container{
+		id:       p.nextCID,
+		region:   region,
+		busy:     true,
+		lastUsed: now,
+		cache:    make(map[string][]byte),
+	}
+	st.containers = append(st.containers, c)
+	return c, true
+}
+
+func (p *Platform) evictIdle(st *functionState, ttl time.Duration, now time.Time) {
+	if ttl <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kept := st.containers[:0]
+	for _, c := range st.containers {
+		if !c.busy && now.Sub(c.lastUsed) > ttl {
+			c.scrub()
+			continue
+		}
+		kept = append(kept, c)
+	}
+	st.containers = kept
+}
+
+func (p *Platform) sample(h netsim.Hop) time.Duration {
+	if p.model == nil {
+		return 0
+	}
+	return p.model.Sample(h)
+}
+
+func (p *Platform) instant(ctx *sim.Context) time.Time {
+	if ctx != nil && ctx.Cursor != nil {
+		return ctx.Cursor.Now()
+	}
+	return p.clk.Now()
+}
+
+// billQuantum rounds a run time up to the 100 ms billing increment.
+// Every invocation bills at least one quantum.
+func billQuantum(run time.Duration) time.Duration {
+	if run <= 0 {
+		return pricing.BillingQuantum
+	}
+	q := pricing.BillingQuantum
+	n := (run + q - 1) / q
+	return n * q
+}
+
+func maxTime(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,212 @@
+package lambda
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cloudsim/clock"
+	"repro/internal/cloudsim/sim"
+	"repro/internal/pricing"
+)
+
+func streamFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := newFixture(t)
+	f.register(t, Function{Name: "tcp-fn", MemoryMB: 128, Handler: func(env *Env, ev Event) (Response, error) {
+		env.Compute(20 * time.Millisecond)
+		return Response{Status: 200, Body: ev.Body}, nil
+	}})
+	return f
+}
+
+func TestConnectionSendReceive(t *testing.T) {
+	f := streamFixture(t)
+	ctx := f.ctx()
+	conn, err := f.platform.OpenConnection(ctx, "tcp-fn", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := conn.Send(ctx, Event{Body: []byte("ping")})
+	if err != nil || string(resp.Body) != "ping" {
+		t.Fatalf("send: %v %q", err, resp.Body)
+	}
+	stats, err := conn.Close(ctx.Cursor.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages != 1 || stats.Resumes != 0 || stats.Suspends != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestOpenConnectionUnknownFunction(t *testing.T) {
+	f := streamFixture(t)
+	if _, err := f.platform.OpenConnection(f.ctx(), "ghost", 0); !errors.Is(err, ErrNoSuchFunction) {
+		t.Fatalf("got %v, want ErrNoSuchFunction", err)
+	}
+}
+
+func TestIdleSuspendStopsBilling(t *testing.T) {
+	// The §8.3 payoff: a connection open for an hour with sparse
+	// traffic bills only the active slivers, not the hour.
+	f := streamFixture(t)
+	ctx := f.ctx()
+	conn, err := f.platform.OpenConnection(ctx, "tcp-fn", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 messages spaced 6 minutes apart.
+	for i := 0; i < 10; i++ {
+		ctx.Cursor.Advance(6 * time.Minute)
+		if _, err := conn.Send(ctx, Event{Body: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := conn.Close(ctx.Cursor.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Wall < time.Hour {
+		t.Fatalf("wall = %v, want ≥ 1h", stats.Wall)
+	}
+	// Each gap triggers a suspend, each message after one a resume.
+	if stats.Suspends != 10 || stats.Resumes != 10 {
+		t.Fatalf("suspends=%d resumes=%d, want 10/10", stats.Suspends, stats.Resumes)
+	}
+	// Billed: ~10 × (1 s idle threshold + ~20-50 ms run) ≈ 11 s, vs
+	// the 3600 s a naive always-active connection would bill.
+	if stats.BilledActive > 30*time.Second {
+		t.Fatalf("billed %v, want a few seconds (suspend broken)", stats.BilledActive)
+	}
+	if stats.BilledActive < 5*time.Second {
+		t.Fatalf("billed %v, suspiciously low", stats.BilledActive)
+	}
+}
+
+func TestAlwaysActiveWithoutTraffic(t *testing.T) {
+	// Traffic within the idle threshold never suspends.
+	f := streamFixture(t)
+	ctx := f.ctx()
+	conn, err := f.platform.OpenConnection(ctx, "tcp-fn", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		ctx.Cursor.Advance(time.Second)
+		if _, err := conn.Send(ctx, Event{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, _ := conn.Close(ctx.Cursor.Now())
+	if stats.Suspends != 0 || stats.Resumes != 0 {
+		t.Fatalf("chatty connection suspended: %+v", stats)
+	}
+	// Billed ≈ the whole wall time (always attached).
+	if stats.BilledActive < stats.Wall-time.Second {
+		t.Fatalf("billed %v of wall %v", stats.BilledActive, stats.Wall)
+	}
+}
+
+func TestResumeFasterThanColdStart(t *testing.T) {
+	f := streamFixture(t)
+	ctx := f.ctx()
+	conn, err := f.platform.OpenConnection(ctx, "tcp-fn", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm send latency.
+	before := ctx.Cursor.Elapsed()
+	conn.Send(ctx, Event{})
+	warm := ctx.Cursor.Elapsed() - before
+
+	// Suspended send latency (includes swap-in).
+	ctx.Cursor.Advance(time.Minute)
+	before = ctx.Cursor.Elapsed()
+	conn.Send(ctx, Event{})
+	resumed := ctx.Cursor.Elapsed() - before
+
+	if resumed <= warm {
+		t.Fatalf("resume (%v) should cost more than warm (%v)", resumed, warm)
+	}
+	// But far less than a cold start (~250 ms median): the swap-in is
+	// a quarter of it.
+	if resumed-warm > 150*time.Millisecond {
+		t.Fatalf("resume overhead %v, want ≪ cold start", resumed-warm)
+	}
+	conn.Close(ctx.Cursor.Now())
+}
+
+func TestConnectionMetering(t *testing.T) {
+	f := streamFixture(t)
+	ctx := f.ctx()
+	before := f.meter.Total(pricing.LambdaGBSeconds)
+	conn, _ := f.platform.OpenConnection(ctx, "tcp-fn", time.Second)
+	ctx.Cursor.Advance(time.Minute)
+	conn.Send(ctx, Event{}) // one resume
+	stats, _ := conn.Close(ctx.Cursor.Now())
+	if got := f.meter.Total(pricing.LambdaGBSeconds) - before; got != stats.GBSeconds {
+		t.Fatalf("metered %v GB-s, stats say %v", got, stats.GBSeconds)
+	}
+	// 1 open + 1 resume = 2 requests.
+	if got := f.meter.Total(pricing.LambdaRequests); got != 2 {
+		t.Fatalf("requests = %v, want 2", got)
+	}
+}
+
+func TestClosedConnectionRefusesUse(t *testing.T) {
+	f := streamFixture(t)
+	ctx := f.ctx()
+	conn, _ := f.platform.OpenConnection(ctx, "tcp-fn", time.Second)
+	if _, err := conn.Close(ctx.Cursor.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Send(ctx, Event{}); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	if _, err := conn.Close(ctx.Cursor.Now()); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestConnectionStateReporting(t *testing.T) {
+	f := streamFixture(t)
+	ctx := f.ctx()
+	conn, _ := f.platform.OpenConnection(ctx, "tcp-fn", time.Second)
+	now := ctx.Cursor.Now()
+	if conn.State(now) != ConnActive {
+		t.Fatal("fresh connection not active")
+	}
+	if conn.State(now.Add(time.Minute)) != ConnSuspended {
+		t.Fatal("idle connection not reported suspended")
+	}
+	conn.Close(now)
+	if conn.State(now) != ConnClosed {
+		t.Fatal("closed connection not reported closed")
+	}
+}
+
+func TestConnectionHandlerUsesServices(t *testing.T) {
+	// Connection-served handlers get the same Env: S3 access works and
+	// accrues latency into the caller's timeline.
+	f := newFixture(t)
+	f.register(t, Function{Name: "state-fn", MemoryMB: 448, Role: "fn-role", Handler: func(env *Env, ev Event) (Response, error) {
+		if err := env.S3().Put(env.Ctx(), "b", "conn-state", ev.Body); err != nil {
+			return Response{Status: 500}, err
+		}
+		return Response{Status: 200}, nil
+	}})
+	ctx := f.ctx()
+	conn, err := f.platform.OpenConnection(ctx, "state-fn", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Send(ctx, Event{Body: []byte("persisted")}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close(ctx.Cursor.Now())
+	obj, err := f.s3.Get(&sim.Context{Principal: "fn-role", Cursor: sim.NewCursor(clock.Epoch)}, "b", "conn-state")
+	if err != nil || string(obj.Data) != "persisted" {
+		t.Fatalf("state write through connection failed: %v", err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package metrics simulates the monitoring service the paper's
+// prototype measurements came from (Table 3's "Med. Lambda Time
+// Billed/Run" and "Peak Memory Used" are CloudWatch statistics on real
+// AWS). The lambda platform publishes one datum per invocation; the
+// experiment harness and the app store's dashboards query counts,
+// sums and percentiles over time windows.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Datum is one recorded sample.
+type Datum struct {
+	At    time.Time
+	Value float64
+}
+
+// Service stores time-series samples by (namespace, metric). It is
+// safe for concurrent use.
+type Service struct {
+	mu     sync.Mutex
+	series map[string][]Datum
+}
+
+// New returns an empty metrics service.
+func New() *Service {
+	return &Service{series: make(map[string][]Datum)}
+}
+
+func key(namespace, metric string) string { return namespace + "\x00" + metric }
+
+// Record appends one sample.
+func (s *Service) Record(namespace, metric string, at time.Time, value float64) {
+	s.mu.Lock()
+	k := key(namespace, metric)
+	s.series[k] = append(s.series[k], Datum{At: at, Value: value})
+	s.mu.Unlock()
+}
+
+// window returns the samples within [from, to] (zero times mean
+// unbounded).
+func (s *Service) window(namespace, metric string, from, to time.Time) []Datum {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Datum
+	for _, d := range s.series[key(namespace, metric)] {
+		if !from.IsZero() && d.At.Before(from) {
+			continue
+		}
+		if !to.IsZero() && d.At.After(to) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Count reports how many samples landed in the window.
+func (s *Service) Count(namespace, metric string, from, to time.Time) int {
+	return len(s.window(namespace, metric, from, to))
+}
+
+// Sum reports the window's total.
+func (s *Service) Sum(namespace, metric string, from, to time.Time) float64 {
+	var sum float64
+	for _, d := range s.window(namespace, metric, from, to) {
+		sum += d.Value
+	}
+	return sum
+}
+
+// Max reports the window's maximum (0 for an empty window).
+func (s *Service) Max(namespace, metric string, from, to time.Time) float64 {
+	var max float64
+	for _, d := range s.window(namespace, metric, from, to) {
+		if d.Value > max {
+			max = d.Value
+		}
+	}
+	return max
+}
+
+// Percentile reports the p-th percentile (nearest rank) of the window,
+// 0 for an empty window.
+func (s *Service) Percentile(namespace, metric string, from, to time.Time, p int) float64 {
+	data := s.window(namespace, metric, from, to)
+	if len(data) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(data))
+	for i, d := range data {
+		vals[i] = d.Value
+	}
+	sort.Float64s(vals)
+	idx := len(vals) * p / 100
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return vals[idx]
+}
+
+// Metrics lists the metric names recorded under a namespace, sorted.
+func (s *Service) Metrics(namespace string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	prefix := namespace + "\x00"
+	for k := range s.series {
+		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+			out = append(out, k[len(prefix):])
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func seeded() *Service {
+	s := New()
+	for i, v := range []float64{120, 130, 134, 140, 400} {
+		s.Record("chat-fn", "run-ms", t0.Add(time.Duration(i)*time.Minute), v)
+	}
+	return s
+}
+
+func TestCountSumMax(t *testing.T) {
+	s := seeded()
+	if got := s.Count("chat-fn", "run-ms", time.Time{}, time.Time{}); got != 5 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := s.Sum("chat-fn", "run-ms", time.Time{}, time.Time{}); got != 924 {
+		t.Fatalf("sum = %v", got)
+	}
+	if got := s.Max("chat-fn", "run-ms", time.Time{}, time.Time{}); got != 400 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := s.Max("chat-fn", "absent", time.Time{}, time.Time{}); got != 0 {
+		t.Fatalf("absent max = %v", got)
+	}
+}
+
+func TestWindowing(t *testing.T) {
+	s := seeded()
+	// Only the middle three samples (minutes 1..3).
+	from, to := t0.Add(time.Minute), t0.Add(3*time.Minute)
+	if got := s.Count("chat-fn", "run-ms", from, to); got != 3 {
+		t.Fatalf("windowed count = %d", got)
+	}
+	if got := s.Max("chat-fn", "run-ms", from, to); got != 140 {
+		t.Fatalf("windowed max = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := seeded()
+	if got := s.Percentile("chat-fn", "run-ms", time.Time{}, time.Time{}, 50); got != 134 {
+		t.Fatalf("p50 = %v, want 134", got)
+	}
+	if got := s.Percentile("chat-fn", "run-ms", time.Time{}, time.Time{}, 99); got != 400 {
+		t.Fatalf("p99 = %v, want 400", got)
+	}
+	if got := s.Percentile("chat-fn", "run-ms", time.Time{}, time.Time{}, 0); got != 120 {
+		t.Fatalf("p0 = %v, want 120", got)
+	}
+	if got := s.Percentile("none", "run-ms", time.Time{}, time.Time{}, 50); got != 0 {
+		t.Fatalf("empty p50 = %v", got)
+	}
+}
+
+func TestMetricsListing(t *testing.T) {
+	s := seeded()
+	s.Record("chat-fn", "billed-ms", t0, 200)
+	s.Record("other-fn", "run-ms", t0, 1)
+	got := s.Metrics("chat-fn")
+	if len(got) != 2 || got[0] != "billed-ms" || got[1] != "run-ms" {
+		t.Fatalf("metrics = %v", got)
+	}
+	if len(s.Metrics("ghost")) != 0 {
+		t.Fatal("listing for unknown namespace")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				s.Record("ns", "m", t0, float64(j))
+				s.Percentile("ns", "m", time.Time{}, time.Time{}, 50)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Count("ns", "m", time.Time{}, time.Time{}); got != 1600 {
+		t.Fatalf("count = %d", got)
+	}
+}

@@ -1,0 +1,123 @@
+// Package sim holds the primitives shared by every simulated cloud
+// service: the per-request virtual timeline (Cursor) and the call
+// context that identifies the caller and its network characteristics.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cursor tracks simulated time along one request flow. Each service hop
+// advances the cursor by its sampled latency; the total elapsed time is
+// the end-to-end latency of the flow.
+//
+// A Cursor is intentionally not safe for concurrent use: it models a
+// single causal chain of events. Fork one per concurrent flow.
+type Cursor struct {
+	start time.Time
+	now   time.Time
+}
+
+// NewCursor returns a cursor positioned at start.
+func NewCursor(start time.Time) *Cursor {
+	return &Cursor{start: start, now: start}
+}
+
+// Now reports the cursor's current position on the simulated timeline.
+func (c *Cursor) Now() time.Time { return c.now }
+
+// Start reports where the cursor began.
+func (c *Cursor) Start() time.Time { return c.start }
+
+// Elapsed reports how much simulated time the flow has consumed.
+func (c *Cursor) Elapsed() time.Duration { return c.now.Sub(c.start) }
+
+// Advance moves the cursor forward by d. Negative d is ignored.
+func (c *Cursor) Advance(d time.Duration) {
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+}
+
+// AdvanceTo moves the cursor to t if t is later than the current
+// position, and reports how far it moved.
+func (c *Cursor) AdvanceTo(t time.Time) time.Duration {
+	if !t.After(c.now) {
+		return 0
+	}
+	d := t.Sub(c.now)
+	c.now = t
+	return d
+}
+
+// Fork returns a new cursor starting at this cursor's current position,
+// for modelling a concurrent downstream flow (e.g. an async delivery).
+func (c *Cursor) Fork() *Cursor { return NewCursor(c.now) }
+
+// Context identifies one simulated API call: who is calling, from which
+// region, along which timeline, and with how much network bandwidth.
+type Context struct {
+	// Principal is the IAM principal ARN of the caller (empty for
+	// anonymous external clients).
+	Principal string
+
+	// App attributes metered usage to a deployed application, feeding
+	// the app store's per-app resource report. Empty for unattributed
+	// administrative calls.
+	App string
+
+	// Region is the cloud region the call is directed at.
+	Region string
+
+	// Cursor is the simulated timeline of this request flow. It may be
+	// nil, in which case services account latency nowhere (useful for
+	// administrative setup calls that are not part of an experiment).
+	Cursor *Cursor
+
+	// IOBandwidthMBps is the caller's available network bandwidth in
+	// MB/s, used to model payload transfer time. Zero means "ample":
+	// the service applies only its base latency.
+	IOBandwidthMBps float64
+
+	// FunctionMemMB is set when the caller is a serverless function
+	// container: the function's memory allocation, which couples to its
+	// I/O latency and bandwidth (the paper's 128 MB vs 448 MB finding).
+	// Zero means the caller is not a function.
+	FunctionMemMB int
+
+	// External marks calls that originate outside the cloud (an end
+	// client). Data returned to an external caller is billed as
+	// internet transfer out.
+	External bool
+}
+
+// Advance moves the context's cursor, if any, forward by d.
+func (c *Context) Advance(d time.Duration) {
+	if c != nil && c.Cursor != nil {
+		c.Cursor.Advance(d)
+	}
+}
+
+// Now reports the context's current simulated time, or the zero time if
+// the context carries no cursor.
+func (c *Context) Now() time.Time {
+	if c == nil || c.Cursor == nil {
+		return time.Time{}
+	}
+	return c.Cursor.Now()
+}
+
+// WithPrincipal returns a copy of the context acting as principal p.
+func (c Context) WithPrincipal(p string) *Context {
+	c.Principal = p
+	return &c
+}
+
+// String describes the context for logs and errors.
+func (c *Context) String() string {
+	if c == nil {
+		return "sim.Context(nil)"
+	}
+	return fmt.Sprintf("sim.Context{principal=%q region=%q}", c.Principal, c.Region)
+}

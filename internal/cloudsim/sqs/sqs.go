@@ -1,0 +1,410 @@
+// Package sqs simulates the queue service the chat prototype uses for
+// message delivery. The paper's §6.2 design: "We implement long polling
+// by having the serverless function post encrypted messages to Amazon's
+// Simple Queue Service, which the client then long polls" with "the
+// maximum 20 second poll interval".
+//
+// The simulator supports both execution modes used in this repo:
+//
+//   - virtual-time flows (ctx.Cursor set): Receive resolves analytically
+//     against the flow's timeline, so a 20-second long poll costs no
+//     real time;
+//   - wall-clock flows (ctx.Cursor nil): Receive genuinely blocks until
+//     a message arrives or the wait expires, for the runnable examples
+//     that drive concurrent goroutine clients.
+package sqs
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/cloudsim/clock"
+	"repro/internal/cloudsim/iam"
+	"repro/internal/cloudsim/netsim"
+	"repro/internal/cloudsim/sim"
+	"repro/internal/pricing"
+)
+
+// MaxWait is SQS's maximum long-poll interval.
+const MaxWait = 20 * time.Second
+
+// DefaultVisibility is the default visibility timeout applied to
+// received messages.
+const DefaultVisibility = 30 * time.Second
+
+// Actions checked against IAM.
+const (
+	ActionSend    = "sqs:SendMessage"
+	ActionReceive = "sqs:ReceiveMessage"
+	ActionDelete  = "sqs:DeleteMessage"
+)
+
+// Errors returned by the service.
+var (
+	ErrNoSuchQueue = errors.New("sqs: no such queue")
+	ErrQueueExists = errors.New("sqs: queue already exists")
+)
+
+// Message is a queued message as seen by a receiver.
+type Message struct {
+	ID   string
+	Body []byte
+	// Sent is the simulated instant the message entered the queue.
+	Sent time.Time
+}
+
+type message struct {
+	id        string
+	body      []byte
+	sent      time.Time
+	visibleAt time.Time // in-flight until this instant
+	receives  int
+}
+
+type queue struct {
+	msgs   []*message
+	notify chan struct{}
+	// Redrive policy: after maxReceives deliveries without deletion a
+	// message moves to the dead-letter queue instead of reappearing.
+	dlq         string
+	maxReceives int
+}
+
+// Service is the simulated queue service. It is safe for concurrent use.
+type Service struct {
+	iam   *iam.Service
+	meter *pricing.Meter
+	model *netsim.Model
+	clk   clock.Clock
+
+	mu     sync.Mutex
+	queues map[string]*queue
+	nextID int64
+}
+
+// New returns a queue service wired to IAM, the meter, the network
+// model and a clock.
+func New(iamSvc *iam.Service, meter *pricing.Meter, model *netsim.Model, clk clock.Clock) *Service {
+	if clk == nil {
+		clk = clock.Wall{}
+	}
+	return &Service{
+		iam:    iamSvc,
+		meter:  meter,
+		model:  model,
+		clk:    clk,
+		queues: make(map[string]*queue),
+	}
+}
+
+// Resource returns the IAM resource string for a queue.
+func Resource(name string) string { return "queue/" + name }
+
+// SetRedrivePolicy routes messages that have been received maxReceives
+// times without deletion to the dead-letter queue — how a DIY
+// deployment quarantines poison messages (e.g. a command no device
+// ever acknowledges) instead of redelivering them forever.
+func (s *Service) SetRedrivePolicy(name, dlqName string, maxReceives int) error {
+	if maxReceives <= 0 {
+		return errors.New("sqs: maxReceives must be positive")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		return fmt.Errorf("sqs: %q: %w", name, ErrNoSuchQueue)
+	}
+	if _, ok := s.queues[dlqName]; !ok {
+		return fmt.Errorf("sqs: dead-letter %q: %w", dlqName, ErrNoSuchQueue)
+	}
+	q.dlq = dlqName
+	q.maxReceives = maxReceives
+	return nil
+}
+
+// redriveLocked moves a poison message to the queue's DLQ. Caller
+// holds the service lock.
+func (s *Service) redriveLocked(q *queue, idx int) {
+	m := q.msgs[idx]
+	q.msgs = append(q.msgs[:idx], q.msgs[idx+1:]...)
+	dq, ok := s.queues[q.dlq]
+	if !ok {
+		return // DLQ deleted since configuration; drop the message
+	}
+	m.receives = 0
+	m.visibleAt = time.Time{}
+	dq.msgs = append(dq.msgs, m)
+	close(dq.notify)
+	dq.notify = make(chan struct{})
+}
+
+// CreateQueue provisions an empty queue.
+func (s *Service) CreateQueue(name string) error {
+	if name == "" {
+		return errors.New("sqs: queue name must be non-empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.queues[name]; ok {
+		return fmt.Errorf("sqs: %q: %w", name, ErrQueueExists)
+	}
+	s.queues[name] = &queue{notify: make(chan struct{})}
+	return nil
+}
+
+// DeleteQueue removes a queue and its messages.
+func (s *Service) DeleteQueue(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		return fmt.Errorf("sqs: %q: %w", name, ErrNoSuchQueue)
+	}
+	close(q.notify) // release any wall-clock waiters
+	delete(s.queues, name)
+	return nil
+}
+
+// QueueExists reports whether the named queue exists.
+func (s *Service) QueueExists(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.queues[name]
+	return ok
+}
+
+// Len reports how many messages are currently queued (including
+// in-flight ones).
+func (s *Service) Len(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		return 0
+	}
+	return len(q.msgs)
+}
+
+// Send enqueues a message. The message becomes visible at the sender's
+// current simulated instant plus the queue-delivery latency.
+func (s *Service) Send(ctx *sim.Context, name string, body []byte) (string, error) {
+	if err := s.begin(ctx, ActionSend, name); err != nil {
+		return "", err
+	}
+	ctxAdvance(ctx, s.sample(netsim.HopSQSSend))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		return "", fmt.Errorf("sqs: %q: %w", name, ErrNoSuchQueue)
+	}
+	s.nextID++
+	id := "m-" + strconv.FormatInt(s.nextID, 10)
+	q.msgs = append(q.msgs, &message{
+		id:   id,
+		body: append([]byte(nil), body...),
+		sent: s.instant(ctx),
+	})
+	// Wake wall-clock long pollers.
+	close(q.notify)
+	q.notify = make(chan struct{})
+	return id, nil
+}
+
+// Receive long-polls the queue for up to wait, returning at most max
+// messages. Received messages become invisible to other receivers for
+// DefaultVisibility; they must be deleted once processed or they will
+// reappear (at-least-once delivery).
+func (s *Service) Receive(ctx *sim.Context, name string, max int, wait time.Duration) ([]Message, error) {
+	if err := s.begin(ctx, ActionReceive, name); err != nil {
+		return nil, err
+	}
+	if max <= 0 {
+		max = 1
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > MaxWait {
+		wait = MaxWait
+	}
+	ctxAdvance(ctx, s.sample(netsim.HopSQSPoll))
+
+	if ctx != nil && ctx.Cursor != nil {
+		return s.receiveVirtual(ctx, name, max, wait)
+	}
+	return s.receiveBlocking(ctx, name, max, wait)
+}
+
+// receiveVirtual resolves the long poll on the flow's virtual timeline:
+// if a message is (or becomes) visible within the wait window, the
+// cursor advances to the delivery instant; otherwise it advances by the
+// full wait.
+func (s *Service) receiveVirtual(ctx *sim.Context, name string, max int, wait time.Duration) ([]Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		return nil, fmt.Errorf("sqs: %q: %w", name, ErrNoSuchQueue)
+	}
+	pollStart := ctx.Cursor.Now()
+	deadline := pollStart.Add(wait)
+
+	// Redrive poison messages before delivery.
+	if q.dlq != "" {
+		for i := 0; i < len(q.msgs); {
+			if q.msgs[i].receives >= q.maxReceives && !q.msgs[i].visibleAt.After(pollStart) {
+				s.redriveLocked(q, i)
+				continue
+			}
+			i++
+		}
+	}
+
+	var got []Message
+	var deliveredAt time.Time
+	for _, m := range q.msgs {
+		if len(got) >= max {
+			break
+		}
+		// A message is receivable if it is visible (not in flight) and
+		// exists by the poll deadline.
+		avail := m.sent
+		if m.visibleAt.After(avail) {
+			avail = m.visibleAt
+		}
+		if avail.After(deadline) {
+			continue
+		}
+		if avail.After(deliveredAt) {
+			deliveredAt = avail
+		}
+		got = append(got, Message{ID: m.id, Body: append([]byte(nil), m.body...), Sent: m.sent})
+	}
+	if len(got) == 0 {
+		ctx.Cursor.AdvanceTo(deadline)
+		return nil, nil
+	}
+	// The poll completes when the latest delivered message arrived
+	// (never earlier than the poll start) plus delivery latency.
+	ctx.Cursor.AdvanceTo(deliveredAt)
+	ctx.Cursor.Advance(s.sample(netsim.HopSQSDeliver))
+	// Mark in-flight.
+	invisibleUntil := ctx.Cursor.Now().Add(DefaultVisibility)
+	for _, gm := range got {
+		for _, m := range q.msgs {
+			if m.id == gm.ID {
+				m.visibleAt = invisibleUntil
+				m.receives++
+			}
+		}
+	}
+	return got, nil
+}
+
+// receiveBlocking waits on the wall clock for messages.
+func (s *Service) receiveBlocking(ctx *sim.Context, name string, max int, wait time.Duration) ([]Message, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		s.mu.Lock()
+		q, ok := s.queues[name]
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("sqs: %q: %w", name, ErrNoSuchQueue)
+		}
+		now := time.Now()
+		if q.dlq != "" {
+			for i := 0; i < len(q.msgs); {
+				if q.msgs[i].receives >= q.maxReceives && !q.msgs[i].visibleAt.After(now) {
+					s.redriveLocked(q, i)
+					continue
+				}
+				i++
+			}
+		}
+		var got []Message
+		for _, m := range q.msgs {
+			if len(got) >= max {
+				break
+			}
+			if m.visibleAt.After(now) {
+				continue
+			}
+			m.visibleAt = now.Add(DefaultVisibility)
+			m.receives++
+			got = append(got, Message{ID: m.id, Body: append([]byte(nil), m.body...), Sent: m.sent})
+		}
+		notify := q.notify
+		s.mu.Unlock()
+		if len(got) > 0 || wait == 0 {
+			return got, nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, nil
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-notify:
+			timer.Stop()
+		case <-timer.C:
+			return nil, nil
+		}
+	}
+}
+
+// Delete removes a received message by id. Deleting an unknown id is a
+// no-op, matching SQS semantics.
+func (s *Service) Delete(ctx *sim.Context, name, id string) error {
+	if err := s.begin(ctx, ActionDelete, name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[name]
+	if !ok {
+		return fmt.Errorf("sqs: %q: %w", name, ErrNoSuchQueue)
+	}
+	for i, m := range q.msgs {
+		if m.id == id {
+			q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+func (s *Service) begin(ctx *sim.Context, action, name string) error {
+	var app, principal string
+	if ctx != nil {
+		app, principal = ctx.App, ctx.Principal
+	}
+	s.meter.Add(pricing.Usage{Kind: pricing.SQSRequests, Quantity: 1, App: app})
+	return s.iam.Authorize(principal, action, Resource(name))
+}
+
+func (s *Service) sample(h netsim.Hop) time.Duration {
+	if s.model == nil {
+		return 0
+	}
+	return s.model.Sample(h)
+}
+
+// instant reports the caller's current simulated time, falling back to
+// the service clock for wall-mode callers.
+func (s *Service) instant(ctx *sim.Context) time.Time {
+	if ctx != nil && ctx.Cursor != nil {
+		return ctx.Cursor.Now()
+	}
+	return s.clk.Now()
+}
+
+func ctxAdvance(ctx *sim.Context, d time.Duration) {
+	if ctx != nil {
+		ctx.Advance(d)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/cloudsim/gateway"
+	"repro/internal/cloudsim/lambda"
+)
+
+// App is a DIY application: a serverless handler plus the resource
+// declaration Install uses to provision its deployment. The five
+// applications under internal/apps implement it.
+type App interface {
+	// Name is the app's short identifier ("chat", "email", ...).
+	Name() string
+	// Spec declares the resources the app needs.
+	Spec() AppSpec
+	// Handler is the function code run per request.
+	Handler() lambda.Handler
+}
+
+// AppSpec declares an app's resource requirements. Install translates
+// it into concrete per-user resources with least-privilege policies.
+type AppSpec struct {
+	// MemoryMB is the function's memory allocation (the Table 2
+	// "Lambda Mem." column). Defaults to 128.
+	MemoryMB int
+	// Timeout bounds each invocation.
+	Timeout time.Duration
+	// Endpoint, if non-empty, exposes the function at an HTTPS path
+	// suffix; the full path is "/<user>/<app><Endpoint>".
+	Endpoint string
+	// Limit throttles the endpoint (DDoS cost protection, §8.2).
+	Limit gateway.Limit
+	// Queues lists queue suffixes to provision; actual names are
+	// "<user>-<app>-<suffix>". Handlers find them via
+	// env.Config("queue:<suffix>").
+	Queues []string
+	// InboundAddrs lists email addresses routed to the function via
+	// the SES trigger (templated: "%USER%" expands to the user name).
+	InboundAddrs []string
+	// CacheDataKeys enables warm-container data-key caching.
+	CacheDataKeys bool
+	// Code is the deployment package; defaults to a name+version
+	// placeholder. Its hash is the attestation measurement.
+	Code []byte
+	// ClientCanReadBucket grants the user's client principal read
+	// access to the deployment bucket (file transfer downloads).
+	ClientCanReadBucket bool
+	// ClientCanDecrypt grants the user's client principal kms:Decrypt
+	// on the deployment key, so the user's own devices can open
+	// messages the function delivers to them (the chat prototype's
+	// "post encrypted messages to SQS, which the client then long
+	// polls" requires the client to hold the data key).
+	ClientCanDecrypt bool
+	// EstCompute declares the modelled per-request compute time used
+	// in cost analysis (the Table 2 "Compute Time per Request"
+	// column).
+	EstCompute time.Duration
+	// UseDynamo additionally provisions a low-latency table (the
+	// paper's footnoted "Amazon DynamoDB is a low-latency alternative
+	// to S3") with the same ciphertext-only policy; handlers find its
+	// name via env.Config(ConfigTable).
+	UseDynamo bool
+}
+
+// Config keys Install places in the function environment.
+const (
+	ConfigBucket     = "bucket"
+	ConfigTable      = "table"
+	ConfigKeyID      = "key-id"
+	ConfigWrappedKey = "wrapped-key" // hex-encoded wrapped data key
+	ConfigUser       = "user"
+	ConfigQueuePref  = "queue:" // + suffix -> actual queue name
+)

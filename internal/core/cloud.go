@@ -1,0 +1,114 @@
+// Package core implements the paper's primary contribution: the DIY
+// deployment model. A Cloud bundles one provider's simulated services;
+// an App declares a serverless function plus the resources it needs;
+// Install binds the two into a Deployment with least-privilege IAM, a
+// per-deployment encryption key held by KMS, and a storage bucket that
+// rejects plaintext writes. Deployments support the controls the paper
+// argues centralized services deny users: migration between providers,
+// deletion with data, and remote attestation of the running code.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cloudsim/clock"
+	"repro/internal/cloudsim/dynamo"
+	"repro/internal/cloudsim/ec2"
+	"repro/internal/cloudsim/gateway"
+	"repro/internal/cloudsim/iam"
+	"repro/internal/cloudsim/kms"
+	"repro/internal/cloudsim/lambda"
+	"repro/internal/cloudsim/metrics"
+	"repro/internal/cloudsim/netsim"
+	"repro/internal/cloudsim/s3"
+	"repro/internal/cloudsim/ses"
+	"repro/internal/cloudsim/sqs"
+	"repro/internal/crypto/attest"
+	"repro/internal/pricing"
+)
+
+// Cloud is one simulated provider: the full service stack the DIY
+// architecture needs (Figure 1), plus billing and attestation.
+type Cloud struct {
+	Name   string
+	Region string
+
+	Clock   *clock.Virtual
+	Model   *netsim.Model
+	Meter   *pricing.Meter
+	Book    *pricing.PriceBook
+	IAM     *iam.Service
+	KMS     *kms.Service
+	S3      *s3.Service
+	Dynamo  *dynamo.Service
+	SQS     *sqs.Service
+	Lambda  *lambda.Platform
+	EC2     *ec2.Service
+	SES     *ses.Service
+	Gateway *gateway.Service
+	Metrics *metrics.Service
+	Attest  *attest.Platform
+}
+
+// CloudOptions configures NewCloud.
+type CloudOptions struct {
+	// Name identifies the provider (default "aws-sim").
+	Name string
+	// Region is the home region (default "us-west-2").
+	Region string
+	// NetParams overrides the latency model (DefaultParams if nil).
+	NetParams *netsim.Params
+	// Book overrides the price book (Default2017 if nil).
+	Book *pricing.PriceBook
+}
+
+// NewCloud builds a fully wired simulated provider.
+func NewCloud(opts CloudOptions) (*Cloud, error) {
+	if opts.Name == "" {
+		opts.Name = "aws-sim"
+	}
+	if opts.Region == "" {
+		opts.Region = "us-west-2"
+	}
+	params := netsim.DefaultParams()
+	if opts.NetParams != nil {
+		params = *opts.NetParams
+	}
+	book := opts.Book
+	if book == nil {
+		book = pricing.Default2017()
+	}
+
+	c := &Cloud{
+		Name:   opts.Name,
+		Region: opts.Region,
+		Clock:  clock.NewVirtual(),
+		Model:  netsim.NewModel(params),
+		Meter:  pricing.NewMeter(),
+		Book:   book,
+		IAM:    iam.New(),
+	}
+	c.KMS = kms.New(c.IAM, c.Meter, c.Model)
+	c.S3 = s3.New(c.IAM, c.Meter, c.Model, c.Clock)
+	c.Dynamo = dynamo.New(c.IAM, c.Meter, c.Model)
+	c.SQS = sqs.New(c.IAM, c.Meter, c.Model, c.Clock)
+	c.Lambda = lambda.New(c.Meter, c.Model, c.Clock)
+	c.EC2 = ec2.New(c.Meter, c.Model, c.Clock)
+	c.SES = ses.New(c.Lambda, c.Meter, c.Model)
+	c.Gateway = gateway.New(c.Lambda, c.Meter, c.Model, c.Clock)
+	c.Metrics = metrics.New()
+	c.Lambda.SetMetrics(c.Metrics)
+	c.Lambda.SetServices(lambda.Services{KMS: c.KMS, S3: c.S3, SQS: c.SQS, Dynamo: c.Dynamo, Email: c.SES})
+
+	att, err := attest.NewPlatform()
+	if err != nil {
+		return nil, fmt.Errorf("core: building cloud %q: %w", opts.Name, err)
+	}
+	c.Attest = att
+	return c, nil
+}
+
+// Bill computes the provider's current monthly bill.
+func (c *Cloud) Bill() *pricing.Bill {
+	return pricing.Compute(c.Book, c.Meter)
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cloudsim/iam"
+	"repro/internal/cloudsim/kms"
+)
+
+// Failure injection: a deployment must degrade gracefully — clean
+// errors, no panics, billing still correct — when its dependencies are
+// pulled out from under it.
+
+func TestKMSKeyDeletedMidLife(t *testing.T) {
+	c := newCloud(t, "aws-sim")
+	d := install(t, c, "alice")
+	if _, _, err := d.Invoke(d.ClientContext(), "put", []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The user (or an admin mistake) destroys the master key.
+	if err := c.KMS.DeleteKey(d.KeyID); err != nil {
+		t.Fatal(err)
+	}
+	// notesApp caches its data key, so tear down warm containers to
+	// force a fresh KMS round trip.
+	if err := c.Lambda.UpdateConfig(d.FnName, nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, stats, err := d.Invoke(d.ClientContext(), "get", nil)
+	if err == nil {
+		t.Fatalf("invoke succeeded without the master key (status %d)", resp.Status)
+	}
+	if !errors.Is(err, kms.ErrKeyNotFound) {
+		t.Fatalf("got %v, want ErrKeyNotFound in the chain", err)
+	}
+	// The failed invocation is still billed — errors are not free.
+	if stats.BilledTime == 0 {
+		t.Fatal("failed invocation not billed")
+	}
+}
+
+func TestRoleRevokedMidLife(t *testing.T) {
+	c := newCloud(t, "aws-sim")
+	d := install(t, c, "alice")
+	c.IAM.DeleteRole(d.Role) // credential revocation
+	c.Lambda.UpdateConfig(d.FnName, nil)
+
+	_, _, err := d.Invoke(d.ClientContext(), "get", nil)
+	if !errors.Is(err, iam.ErrDenied) {
+		t.Fatalf("got %v, want ErrDenied", err)
+	}
+}
+
+func TestClientRoleRevoked(t *testing.T) {
+	c := newCloud(t, "aws-sim")
+	d := install(t, c, "alice")
+	c.IAM.DeleteRole(d.ClientRole)
+	// Client-side KMS decrypt (the chat data-key fetch path) fails.
+	if _, err := c.KMS.Decrypt(d.ClientContext(), d.WrappedKey); !errors.Is(err, iam.ErrDenied) {
+		t.Fatalf("got %v, want ErrDenied", err)
+	}
+}
+
+func TestMigrateFromBrokenSource(t *testing.T) {
+	src := newCloud(t, "src")
+	dst := newCloud(t, "dst")
+	d := install(t, src, "alice")
+	d.Invoke(d.ClientContext(), "put", []byte("data"))
+
+	// Source key destroyed: migration must fail cleanly, and must not
+	// leave a half-installed destination key blocking a retry... the
+	// destination deployment does get created first, so a retry after
+	// cleanup is the documented path.
+	src.KMS.DeleteKey(d.KeyID)
+	if _, err := Migrate(d, dst, true); err == nil {
+		t.Fatal("migration succeeded without the source key")
+	}
+	// Source data untouched by the failed migration.
+	if !src.S3.BucketExists(d.Bucket) {
+		t.Fatal("failed migration destroyed source data")
+	}
+}
+
+func TestOutageDuringInstallDoesNotCorrupt(t *testing.T) {
+	c := newCloud(t, "aws-sim")
+	// Outage at install time: install itself is control-plane and
+	// succeeds; the first invocation fails over.
+	c.Model.SetOutage("us-west-2", true)
+	d := install(t, c, "alice")
+	_, stats, err := d.Invoke(d.ClientContext(), "put", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Region != "us-east-1" {
+		t.Fatalf("ran in %s during outage", stats.Region)
+	}
+}

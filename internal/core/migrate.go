@@ -1,0 +1,98 @@
+package core
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/cloudsim/sim"
+	"repro/internal/crypto/envelope"
+)
+
+// Migrate moves a deployment to another cloud — the control the paper
+// highlights: "users have the freedom of migrating their data across
+// providers at any time, e.g., to move out of insecure geographic
+// regions or clouds."
+//
+// Only ciphertext crosses between providers. The deployment data key is
+// unwrapped by the source KMS under the user's own authority, re-wrapped
+// by the destination KMS, and zeroed from the migration tool's memory;
+// the plaintext of the user's data never exists outside a function
+// container on either side.
+//
+// On success the source deployment is deleted (with its data if
+// deleteSource is true) and the new deployment is returned.
+func Migrate(d *Deployment, dest *Cloud, deleteSource bool) (*Deployment, error) {
+	if d.app == nil {
+		return nil, ErrNotInstalled
+	}
+	nd, err := Install(dest, d.User, d.app)
+	if err != nil {
+		return nil, fmt.Errorf("core: migrating %s: %w", d.FnName, err)
+	}
+
+	// Re-custody the data key so existing ciphertext stays readable:
+	// source-KMS decrypt -> destination-KMS wrap -> zero.
+	srcCtx := &sim.Context{Principal: d.Role, App: d.app.Name(), Region: d.Cloud.Region}
+	plainKey, err := d.Cloud.KMS.Decrypt(srcCtx, d.WrappedKey)
+	if err != nil {
+		return nil, fmt.Errorf("core: unwrapping source key: %w", err)
+	}
+	dstCtx := &sim.Context{Principal: nd.Role, App: d.app.Name(), Region: dest.Region}
+	rewrapped, err := dest.KMS.ImportWrapped(dstCtx, plainKey, nd.KeyID)
+	envelope.Zero(plainKey)
+	if err != nil {
+		return nil, fmt.Errorf("core: re-wrapping key at destination: %w", err)
+	}
+	nd.WrappedKey = rewrapped
+	err = dest.Lambda.UpdateConfig(nd.FnName, map[string]string{
+		ConfigWrappedKey: hex.EncodeToString(rewrapped),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Copy ciphertext objects as-is.
+	keys, err := d.Cloud.S3.List(srcCtx, d.Bucket, "")
+	if err != nil {
+		return nil, fmt.Errorf("core: listing source bucket: %w", err)
+	}
+	for _, key := range keys {
+		obj, err := d.Cloud.S3.Get(srcCtx, d.Bucket, key)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading %s/%s: %w", d.Bucket, key, err)
+		}
+		if !envelope.IsSealed(obj.Data) {
+			// Defense in depth: the sealed-writes policy should make
+			// this impossible, but migration must never ship plaintext.
+			return nil, fmt.Errorf("core: refusing to migrate plaintext object %s/%s", d.Bucket, key)
+		}
+		if err := dest.S3.Put(dstCtx.WithPrincipal(nd.Role), nd.Bucket, key, obj.Data); err != nil {
+			return nil, fmt.Errorf("core: writing %s/%s: %w", nd.Bucket, key, err)
+		}
+	}
+
+	// Copy table items, if the app uses the low-latency store.
+	if d.Table != "" {
+		keys, err := d.Cloud.Dynamo.Query(srcCtx, d.Table, "")
+		if err != nil {
+			return nil, fmt.Errorf("core: listing source table: %w", err)
+		}
+		for _, key := range keys {
+			it, err := d.Cloud.Dynamo.Get(srcCtx, d.Table, key)
+			if err != nil {
+				return nil, fmt.Errorf("core: reading %s/%s: %w", d.Table, key, err)
+			}
+			if !envelope.IsSealed(it.Value) {
+				return nil, fmt.Errorf("core: refusing to migrate plaintext item %s/%s", d.Table, key)
+			}
+			if err := dest.Dynamo.Put(dstCtx.WithPrincipal(nd.Role), nd.Table, key, it.Value); err != nil {
+				return nil, fmt.Errorf("core: writing %s/%s: %w", nd.Table, key, err)
+			}
+		}
+	}
+
+	if err := d.Delete(deleteSource); err != nil {
+		return nil, fmt.Errorf("core: removing source deployment: %w", err)
+	}
+	return nd, nil
+}

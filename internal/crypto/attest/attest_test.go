@@ -1,0 +1,106 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+)
+
+func newPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAttestVerify(t *testing.T) {
+	p := newPlatform(t)
+	code := []byte("function deployment package v1")
+	nonce := []byte("client-nonce-123")
+	q := p.Attest(code, nonce, []byte("session-binding"))
+	if err := Verify(p.PublicKey(), q, Measure(code), nonce); err != nil {
+		t.Fatalf("valid quote rejected: %v", err)
+	}
+}
+
+func TestTamperedCodeFailsMeasurement(t *testing.T) {
+	// The invariant from DESIGN.md: a tampered function image fails
+	// quote verification.
+	p := newPlatform(t)
+	good := []byte("trusted code")
+	evil := []byte("trusted code + backdoor")
+	nonce := []byte("n")
+	q := p.Attest(evil, nonce, nil)
+	if err := Verify(p.PublicKey(), q, Measure(good), nonce); !errors.Is(err, ErrMeasurement) {
+		t.Fatalf("got %v, want ErrMeasurement", err)
+	}
+}
+
+func TestReplayedNonceRejected(t *testing.T) {
+	p := newPlatform(t)
+	code := []byte("code")
+	q := p.Attest(code, []byte("old-nonce"), nil)
+	if err := Verify(p.PublicKey(), q, Measure(code), []byte("fresh-nonce")); !errors.Is(err, ErrNonce) {
+		t.Fatalf("got %v, want ErrNonce", err)
+	}
+}
+
+func TestForgedSignatureRejected(t *testing.T) {
+	p := newPlatform(t)
+	other := newPlatform(t)
+	code := []byte("code")
+	nonce := []byte("n")
+	q := other.Attest(code, nonce, nil) // signed by the wrong platform
+	if err := Verify(p.PublicKey(), q, Measure(code), nonce); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("got %v, want ErrBadSignature", err)
+	}
+}
+
+func TestMutatedQuoteFieldsRejected(t *testing.T) {
+	p := newPlatform(t)
+	code := []byte("code")
+	nonce := []byte("n")
+
+	q := p.Attest(code, nonce, []byte("rd"))
+	q.ReportData = []byte("rewritten")
+	if err := Verify(p.PublicKey(), q, Measure(code), nonce); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("mutated report data: got %v, want ErrBadSignature", err)
+	}
+
+	q2 := p.Attest(code, nonce, nil)
+	q2.Measurement[0] ^= 0xff
+	if err := Verify(p.PublicKey(), q2, Measure(code), nonce); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("mutated measurement: got %v, want ErrBadSignature", err)
+	}
+
+	q3 := p.Attest(code, nonce, nil)
+	q3.Signature[0] ^= 0xff
+	if err := Verify(p.PublicKey(), q3, Measure(code), nonce); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("mutated signature: got %v, want ErrBadSignature", err)
+	}
+}
+
+func TestLengthConfusionResisted(t *testing.T) {
+	// The digest must bind field boundaries: moving a byte between
+	// nonce and report data must not produce the same digest.
+	p := newPlatform(t)
+	code := []byte("code")
+	q := p.Attest(code, []byte("ab"), []byte("c"))
+	forged := Quote{
+		Measurement: q.Measurement,
+		Nonce:       []byte("a"),
+		ReportData:  []byte("bc"),
+		Signature:   q.Signature,
+	}
+	if err := Verify(p.PublicKey(), forged, Measure(code), []byte("a")); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("length confusion accepted: %v", err)
+	}
+}
+
+func TestDistinctPlatformKeys(t *testing.T) {
+	a, b := newPlatform(t), newPlatform(t)
+	if string(a.PublicKey()) == string(b.PublicKey()) {
+		t.Fatal("two platforms share a key")
+	}
+}

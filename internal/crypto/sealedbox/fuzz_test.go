@@ -1,0 +1,28 @@
+package sealedbox
+
+import "testing"
+
+// FuzzOpen checks arbitrary blobs never panic or decrypt.
+func FuzzOpen(f *testing.F) {
+	pub, priv, err := GenerateKeys()
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err := Seal(pub, []byte("seed"), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte("DIY\x01P short"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, freshPriv, err := GenerateKeys()
+		if err != nil {
+			t.Skip()
+		}
+		if pt, err := Open(freshPriv, data, nil); err == nil {
+			t.Fatalf("random blob opened under a fresh key: %q", pt)
+		}
+		_, _ = Open(priv, data, nil) // must not panic either way
+	})
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cloudsim/gateway"
+	"repro/internal/cloudsim/lambda"
+	"repro/internal/cloudsim/sim"
+	"repro/internal/core"
+	"repro/internal/pricing"
+)
+
+// DDoSPoint is one row of the §8.2 cost-attack study.
+type DDoSPoint struct {
+	Throttled      bool
+	AttackRequests int
+	BilledInvokes  float64
+	// ListCost prices the attack's compute at list price (no free-tier
+	// credit): the financial damage an attacker can impose.
+	ListCost pricing.Money
+}
+
+// RunDDoSCostStudy fires a burst of attack requests at a DIY endpoint
+// with and without the gateway throttle and prices the damage — the
+// §8.2 concern ("DDoS attacks, which can impose high financial cost to
+// the user") and its mitigation ("throttling requests using tools
+// provided by the cloud provider").
+func RunDDoSCostStudy(attackRequests int) ([]DDoSPoint, error) {
+	if attackRequests <= 0 {
+		attackRequests = 20_000
+	}
+	run := func(limit gateway.Limit) (DDoSPoint, error) {
+		cloud, err := core.NewCloud(core.CloudOptions{Name: "ddos"})
+		if err != nil {
+			return DDoSPoint{}, err
+		}
+		d, err := core.Install(cloud, "victim", ddosTarget{limit: limit})
+		if err != nil {
+			return DDoSPoint{}, err
+		}
+		for i := 0; i < attackRequests; i++ {
+			ctx := &sim.Context{Cursor: sim.NewCursor(cloud.Clock.Now()), External: true}
+			d.Invoke(ctx, "get", nil) // errors are the point
+		}
+		noFree := cloud.Book.WithoutFreeTiers()
+		m := pricing.NewMeter()
+		m.Add(pricing.Usage{Kind: pricing.LambdaRequests, Quantity: cloud.Meter.Total(pricing.LambdaRequests)})
+		m.Add(pricing.Usage{Kind: pricing.LambdaGBSeconds, Quantity: cloud.Meter.Total(pricing.LambdaGBSeconds)})
+		return DDoSPoint{
+			Throttled:      limit.RPS > 0,
+			AttackRequests: attackRequests,
+			BilledInvokes:  cloud.Meter.Total(pricing.LambdaRequests),
+			ListCost:       pricing.Compute(noFree, m).Total(),
+		}, nil
+	}
+
+	open, err := run(gateway.Limit{})
+	if err != nil {
+		return nil, err
+	}
+	throttled, err := run(gateway.Limit{RPS: 5, Burst: 20})
+	if err != nil {
+		return nil, err
+	}
+	return []DDoSPoint{open, throttled}, nil
+}
+
+// ddosTarget is a minimal throttlable app.
+type ddosTarget struct{ limit gateway.Limit }
+
+func (ddosTarget) Name() string { return "target" }
+func (a ddosTarget) Spec() core.AppSpec {
+	return core.AppSpec{Endpoint: "/api", Limit: a.limit}
+}
+func (ddosTarget) Handler() lambda.Handler {
+	return func(env *lambda.Env, ev lambda.Event) (lambda.Response, error) {
+		env.Compute(500 * time.Millisecond) // the Table 2 per-request profile
+		return lambda.Response{Status: 200}, nil
+	}
+}
+
+// RenderDDoS prints the study.
+func RenderDDoS(points []DDoSPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation (§8.2): cost of a burst DDoS against a DIY endpoint\n")
+	fmt.Fprintf(&sb, "  %-22s %14s %16s %14s\n", "Gateway", "Attack reqs", "Billed invokes", "List cost")
+	for _, p := range points {
+		mode := "no throttle"
+		if p.Throttled {
+			mode = "throttle 5 rps"
+		}
+		fmt.Fprintf(&sb, "  %-22s %14d %16.0f %14s\n", mode, p.AttackRequests, p.BilledInvokes, p.ListCost)
+	}
+	fmt.Fprintf(&sb, "  (sustained 1M req/day for a month, unthrottled: %s)\n", SustainedAttackMonthly())
+	return sb.String()
+}
+
+// SustainedAttackMonthly prices a month-long 1M req/day flood at list
+// price — the §8.2 "high financial cost" an unthrottled deployment
+// risks versus the cents the throttle allows.
+func SustainedAttackMonthly() pricing.Money {
+	book := pricing.Default2017().WithoutFreeTiers()
+	m := pricing.NewMeter()
+	reqs := 1_000_000.0 * 30
+	m.Add(pricing.Usage{Kind: pricing.LambdaRequests, Quantity: reqs})
+	m.Add(pricing.Usage{Kind: pricing.LambdaGBSeconds, Quantity: reqs * 0.5 * 128.0 / 1024.0})
+	return pricing.Compute(book, m).Total()
+}

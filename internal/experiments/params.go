@@ -1,0 +1,105 @@
+// Package experiments regenerates every table and figure in the
+// paper's evaluation (§5 Table 1, §6.1 Table 2, §6.2 Table 3, the
+// Figure 1 request-flow trace) plus the ablations DESIGN.md calls out,
+// all through the simulated substrates and the pricing engine — no
+// cost number is hardcoded.
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/pricing"
+)
+
+// Profile is one Table 2 service row's workload parameters. The first
+// five columns are printed verbatim in the paper; the transfer volume
+// is not published, so it is derived from the paper's storage+transfer
+// totals at 2017 list prices and documented in EXPERIMENTS.md.
+type Profile struct {
+	Application string
+	Provider    string // "Lambda" or "EC2"
+	// DailyRequests is the Table 2 "Daily Requests" column.
+	DailyRequests float64
+	// ComputePerRequest is the Table 2 "Compute Time per Request".
+	ComputePerRequest time.Duration
+	// LambdaMemMB is the Table 2 "Lambda Mem. (MB)" column (0 for EC2).
+	LambdaMemMB int
+	// StorageGB is the Table 2 "Monthly Storage (GB)" column.
+	StorageGB float64
+	// TransferGBMonth is the derived monthly internet-egress volume
+	// (before the 1 GB/month free allowance).
+	TransferGBMonth float64
+	// EC2InstanceType and EC2HoursMonth size the EC2-hosted service
+	// (video only).
+	EC2InstanceType string
+	EC2HoursMonth   float64
+}
+
+// Table2Profiles returns the five Table 2 service rows.
+func Table2Profiles() []Profile {
+	return []Profile{
+		{
+			Application: "Group Chat", Provider: "Lambda",
+			DailyRequests: 2000, ComputePerRequest: 500 * time.Millisecond,
+			LambdaMemMB: 128, StorageGB: 2, TransferGBMonth: 2.0,
+		},
+		{
+			Application: "Email", Provider: "Lambda",
+			DailyRequests: 500, ComputePerRequest: 500 * time.Millisecond,
+			LambdaMemMB: 128, StorageGB: 5, TransferGBMonth: 2.6,
+		},
+		{
+			Application: "File Transfer", Provider: "Lambda",
+			DailyRequests: 100, ComputePerRequest: 2000 * time.Millisecond,
+			LambdaMemMB: 1024, StorageGB: 2, TransferGBMonth: 2.0,
+		},
+		{
+			Application: "IoT Controller", Provider: "Lambda",
+			DailyRequests: 100, ComputePerRequest: 500 * time.Millisecond,
+			LambdaMemMB: 128, StorageGB: 1, TransferGBMonth: 2.1,
+		},
+		{
+			Application: "Video Conferencing", Provider: "EC2",
+			DailyRequests: 1, ComputePerRequest: 15 * time.Minute,
+			StorageGB: 1, TransferGBMonth: 10.0,
+			// The paper's compute cell ($0.01) prices a single
+			// 15-minute t2.medium call; see EXPERIMENTS.md for the
+			// discrepancy discussion.
+			EC2InstanceType: "t2.medium", EC2HoursMonth: 0.25,
+		},
+	}
+}
+
+// Strawman is the Table 1 EC2-hosted email server configuration: the
+// smallest VM running the whole month, ~7.4 GB of storage (mail plus
+// system image — the volume that makes the paper's $0.17 storage row
+// at the 2017 S3 rate), 2 GB of monthly transfer.
+type Strawman struct {
+	InstanceType string
+	StorageGB    float64
+	TransferGB   float64
+}
+
+// Table1Strawman returns the §5 configuration.
+func Table1Strawman() Strawman {
+	return Strawman{InstanceType: "t2.nano", StorageGB: 7.4, TransferGB: 2.0}
+}
+
+// billedPerRequest quantizes a per-request compute duration to the
+// platform's billing increment.
+func billedPerRequest(d time.Duration) time.Duration {
+	q := pricing.BillingQuantum
+	if d <= 0 {
+		return q
+	}
+	return (d + q - 1) / q * q
+}
+
+// MonthlyGBSeconds reports the month's GB-seconds for a profile.
+func (p Profile) MonthlyGBSeconds() float64 {
+	billed := billedPerRequest(p.ComputePerRequest)
+	return p.DailyRequests * 30 * billed.Seconds() * float64(p.LambdaMemMB) / 1024
+}
+
+// MonthlyRequests reports the month's request count.
+func (p Profile) MonthlyRequests() float64 { return p.DailyRequests * 30 }

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/apps/chat"
+	"repro/internal/cloudsim/netsim"
+	"repro/internal/core"
+	"repro/internal/pricing"
+)
+
+// Table3 holds the chat prototype statistics (§6.2), measured by
+// driving the actual application through the simulated platform.
+type Table3 struct {
+	MedBilled    time.Duration
+	MedRun       time.Duration
+	MedE2E       time.Duration
+	AllocatedMB  int
+	PeakMemoryMB int64
+	// CostPer100K is the marginal Lambda cost of 100,000 requests at
+	// the measured billed time, with no free-tier credit (request fee
+	// plus GB-seconds).
+	CostPer100K pricing.Money
+	Samples     int
+	ColdStarts  int
+	// Tail behaviour (not in the paper's table; extra observability).
+	P95Run time.Duration
+	P99E2E time.Duration
+}
+
+// Table3Config parameterizes the prototype run.
+type Table3Config struct {
+	// Sends is the number of measured messages (default 200).
+	Sends int
+	// MemoryMB is the function allocation (default 448, the paper's).
+	MemoryMB int
+	// GapBetweenSends spaces messages on the simulated clock (default
+	// 40 s, ≈2000 messages/day).
+	GapBetweenSends time.Duration
+	// Backend selects the chat state store ("" = S3, "dynamo").
+	Backend string
+	// Seed overrides the latency model's random seed (0 = default).
+	Seed int64
+}
+
+// RunTable3 deploys the chat prototype on a fresh simulated cloud,
+// exchanges messages between two members, and reports the medians the
+// paper's Table 3 lists.
+func RunTable3(cfg Table3Config) (*Table3, error) {
+	if cfg.Sends <= 0 {
+		cfg.Sends = 200
+	}
+	if cfg.MemoryMB == 0 {
+		cfg.MemoryMB = 448
+	}
+	if cfg.GapBetweenSends <= 0 {
+		cfg.GapBetweenSends = 40 * time.Second
+	}
+
+	opts := core.CloudOptions{Name: "table3"}
+	if cfg.Seed != 0 {
+		params := netsim.DefaultParams()
+		params.Seed = cfg.Seed
+		opts.NetParams = &params
+	}
+	cloud, err := core.NewCloud(opts)
+	if err != nil {
+		return nil, err
+	}
+	d, err := chat.Install(cloud, "proto", chat.App{
+		Members:  []string{"alice", "bob"},
+		MemoryMB: cfg.MemoryMB,
+		Backend:  cfg.Backend,
+	})
+	if err != nil {
+		return nil, err
+	}
+	alice := chat.NewClient(d, "alice", "laptop")
+	bob := chat.NewClient(d, "bob", "phone")
+	if _, err := alice.Session(); err != nil {
+		return nil, err
+	}
+	if _, err := bob.Session(); err != nil {
+		return nil, err
+	}
+
+	var billed, run, e2e []time.Duration
+	var peak int64
+	cold := 0
+	for i := 0; i < cfg.Sends; i++ {
+		cloud.Clock.Advance(cfg.GapBetweenSends)
+		sendStart := cloud.Clock.Now()
+
+		stats, sentAt, err := alice.SendTimed(fmt.Sprintf("message %d from the prototype run", i))
+		if err != nil {
+			return nil, fmt.Errorf("table3 send %d: %w", i, err)
+		}
+		billed = append(billed, stats.BilledTime)
+		run = append(run, stats.RunTime)
+		if stats.PeakMemoryBytes > peak {
+			peak = stats.PeakMemoryBytes
+		}
+		if stats.ColdStart {
+			cold++
+		}
+
+		// Bob's long poll was outstanding before the send: E2E runs
+		// from the send initiation to his decrypted delivery.
+		pollCtx := bob.PollContext(sendStart)
+		msgs, err := bob.Receive(pollCtx, 20*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("table3 receive %d: %w", i, err)
+		}
+		if len(msgs) != 1 {
+			return nil, fmt.Errorf("table3 receive %d: got %d messages", i, len(msgs))
+		}
+		e2e = append(e2e, pollCtx.Cursor.Now().Sub(sendStart))
+		_ = sentAt
+	}
+
+	fn, _ := cloud.Lambda.Function(d.FnName)
+	medBilled := median(billed)
+	book := cloud.Book
+	perRequest := book.LambdaPerMillionRequests.MulFloat(1.0/1e6) +
+		book.LambdaPerGBSecond.MulFloat(medBilled.Seconds()*float64(fn.MemoryMB)/1024)
+
+	return &Table3{
+		MedBilled:    medBilled,
+		MedRun:       median(run),
+		MedE2E:       median(e2e),
+		P95Run:       percentile(run, 95),
+		P99E2E:       percentile(e2e, 99),
+		AllocatedMB:  fn.MemoryMB,
+		PeakMemoryMB: peak >> 20,
+		CostPer100K:  perRequest.MulFloat(100_000),
+		Samples:      cfg.Sends,
+		ColdStarts:   cold,
+	}, nil
+}
+
+// Render prints the statistics in the paper's Table 3 layout.
+func (t *Table3) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: Statistics collected for our chat service\n")
+	fmt.Fprintf(&sb, "  %-38s %10v\n", "Med. Lambda Time Billed", t.MedBilled.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "  %-38s %10v\n", "Med. Lambda Time Run", t.MedRun.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "  %-38s %10v\n", "E2E Chat Latency (median)", t.MedE2E.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "  %-38s %7d MB\n", "Lambda Memory Allocated", t.AllocatedMB)
+	fmt.Fprintf(&sb, "  %-38s %7d MB\n", "Peak Memory Used", t.PeakMemoryMB)
+	fmt.Fprintf(&sb, "  %-38s %10s\n", "Med. Lambda Cost per 100K Requests", t.CostPer100K)
+	fmt.Fprintf(&sb, "  %-38s %10d\n", "(samples)", t.Samples)
+	fmt.Fprintf(&sb, "  %-38s %10d\n", "(cold starts)", t.ColdStarts)
+	fmt.Fprintf(&sb, "  %-38s %10v\n", "(p95 run)", t.P95Run.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "  %-38s %10v\n", "(p99 E2E)", t.P99E2E.Round(time.Millisecond))
+	return sb.String()
+}
+
+// median returns the middle sample (lower of two for even counts).
+func median(samples []time.Duration) time.Duration { return percentile(samples, 50) }
+
+// percentile returns the p-th percentile sample (nearest-rank).
+func percentile(samples []time.Duration, p int) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	cp := append([]time.Duration(nil), samples...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	idx := len(cp) * p / 100
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}

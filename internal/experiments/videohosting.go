@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/pricing"
+)
+
+// VideoHostPoint is one hosting choice for the video relay.
+type VideoHostPoint struct {
+	Mode        string
+	MonthlyCost pricing.Money
+	// Feasible reports whether the 2017 platform could host it at all
+	// (Lambda had no multi-connection support — the paper's stated
+	// reason for EC2).
+	Feasible bool
+}
+
+// RunVideoHostingComparison prices the paper's video workload — one
+// 15-minute HD call per day — on the relay host choices, quantifying
+// the design decision behind Table 2 row 5: "Since Lambda does not
+// support multiple connections yet, we use a t2.medium EC2 instance."
+// Even with the §8.3 connection extension making serverless relays
+// *possible*, a sustained media stream keeps the container attached
+// for the whole call, and per-GB-second pricing above the free tier is
+// more expensive than a per-second VM — the VM is the right call for
+// sustained throughput, serverless for idle-heavy services.
+func RunVideoHostingComparison() []VideoHostPoint {
+	book := pricing.Default2017()
+	callPerDay := 15 * time.Minute
+	monthlySeconds := callPerDay.Seconds() * 30
+
+	// EC2 t2.medium, per-second billing, only during calls.
+	ec2Cost := book.EC2Hourly("t2.medium").MulFloat(monthlySeconds / 3600)
+
+	// Serverless connection (suspend/resume): the stream never idles,
+	// so the container is attached for the full call. A relay needs
+	// real memory; use the 1536 MB ceiling.
+	gbs := monthlySeconds * 1536.0 / 1024.0
+	free := book.LambdaFreeGBSeconds
+	billableGBs := gbs - free
+	if billableGBs < 0 {
+		billableGBs = 0
+	}
+	lambdaCost := book.LambdaPerGBSecond.MulFloat(billableGBs)
+	lambdaListCost := book.LambdaPerGBSecond.MulFloat(gbs)
+
+	return []VideoHostPoint{
+		{Mode: "ec2 t2.medium (paper)", MonthlyCost: ec2Cost, Feasible: true},
+		{Mode: "lambda conn (free tier)", MonthlyCost: lambdaCost, Feasible: true},
+		{Mode: "lambda conn (list price)", MonthlyCost: lambdaListCost, Feasible: true},
+		{Mode: "lambda per-request (2017)", MonthlyCost: 0, Feasible: false},
+	}
+}
+
+// RenderVideoHosting prints the comparison.
+func RenderVideoHosting(points []VideoHostPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: hosting the video relay (15 min HD call daily) — why the paper chose EC2\n")
+	fmt.Fprintf(&sb, "  %-28s %14s %10s\n", "Mode", "Compute/month", "Feasible")
+	for _, p := range points {
+		cost := p.MonthlyCost.String()
+		if !p.Feasible {
+			cost = "n/a"
+		}
+		fmt.Fprintf(&sb, "  %-28s %14s %10v\n", p.Mode, cost, p.Feasible)
+	}
+	return sb.String()
+}

@@ -1,0 +1,200 @@
+package pricing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Line is one bill line item: a usage dimension priced against the book,
+// with the free-tier allowance already applied.
+type Line struct {
+	Kind     Kind
+	Detail   string  // human description, e.g. "t2.nano instance-hours"
+	Quantity float64 // metered quantity in the kind's unit
+	Billable float64 // quantity remaining after the free allowance
+	Cost     Money   // price of the billable quantity
+}
+
+// Bill is a priced monthly statement.
+type Bill struct {
+	Lines []Line
+}
+
+// Total sums every line.
+func (b *Bill) Total() Money {
+	var t Money
+	for _, l := range b.Lines {
+		t += l.Cost
+	}
+	return t
+}
+
+// TotalOf sums only the lines for the given kinds.
+func (b *Bill) TotalOf(kinds ...Kind) Money {
+	want := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var t Money
+	for _, l := range b.Lines {
+		if want[l.Kind] {
+			t += l.Cost
+		}
+	}
+	return t
+}
+
+// Line returns the line for a kind, or a zero Line if absent.
+func (b *Bill) Line(k Kind) Line {
+	for _, l := range b.Lines {
+		if l.Kind == k {
+			return l
+		}
+	}
+	return Line{Kind: k}
+}
+
+// String renders the bill as an aligned text table.
+func (b *Bill) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %14s %14s %10s\n", "ITEM", "USAGE", "BILLABLE", "COST")
+	for _, l := range b.Lines {
+		fmt.Fprintf(&sb, "%-22s %14.3f %14.3f %10s\n", l.Detail, l.Quantity, l.Billable, l.Cost)
+	}
+	fmt.Fprintf(&sb, "%-22s %14s %14s %10s\n", "TOTAL", "", "", b.Total())
+	return sb.String()
+}
+
+// Compute prices the meter's accumulated usage against the book,
+// applying each free-tier allowance, and returns the monthly bill.
+// Lines appear in a stable service order; zero-usage dimensions are
+// omitted.
+func Compute(book *PriceBook, m *Meter) *Bill {
+	var lines []Line
+	add := func(l Line) {
+		if l.Quantity > 0 {
+			lines = append(lines, l)
+		}
+	}
+
+	billable := func(q, free float64) float64 {
+		if q <= free {
+			return 0
+		}
+		return q - free
+	}
+
+	// Lambda.
+	reqs := m.Total(LambdaRequests)
+	breq := billable(reqs, book.LambdaFreeRequests)
+	add(Line{
+		Kind: LambdaRequests, Detail: "lambda requests",
+		Quantity: reqs, Billable: breq,
+		Cost: book.LambdaPerMillionRequests.MulFloat(breq / 1e6),
+	})
+	gbs := m.Total(LambdaGBSeconds)
+	bgbs := billable(gbs, book.LambdaFreeGBSeconds)
+	add(Line{
+		Kind: LambdaGBSeconds, Detail: "lambda GB-seconds",
+		Quantity: gbs, Billable: bgbs,
+		Cost: book.LambdaPerGBSecond.MulFloat(bgbs),
+	})
+
+	// S3.
+	stor := m.Total(S3StorageGBMo)
+	add(Line{
+		Kind: S3StorageGBMo, Detail: "s3 storage GB-months",
+		Quantity: stor, Billable: stor,
+		Cost: book.S3StoragePerGBMonth.MulFloat(stor),
+	})
+	puts := m.Total(S3PutRequests)
+	add(Line{
+		Kind: S3PutRequests, Detail: "s3 PUT requests",
+		Quantity: puts, Billable: puts,
+		Cost: book.S3PerThousandPUT.MulFloat(puts / 1e3),
+	})
+	gets := m.Total(S3GetRequests)
+	add(Line{
+		Kind: S3GetRequests, Detail: "s3 GET requests",
+		Quantity: gets, Billable: gets,
+		Cost: book.S3PerThousandGET.MulFloat(gets / 1e3),
+	})
+
+	// Data transfer out.
+	xfer := m.Total(TransferOutGB)
+	bx := billable(xfer, book.TransferFreeGB)
+	add(Line{
+		Kind: TransferOutGB, Detail: "data transfer out GB",
+		Quantity: xfer, Billable: bx,
+		Cost: book.TransferOutPerGB.MulFloat(bx),
+	})
+
+	// SQS.
+	sqs := m.Total(SQSRequests)
+	bs := billable(sqs, book.SQSFreeRequests)
+	add(Line{
+		Kind: SQSRequests, Detail: "sqs requests",
+		Quantity: sqs, Billable: bs,
+		Cost: book.SQSPerMillionRequests.MulFloat(bs / 1e6),
+	})
+
+	// KMS.
+	kms := m.Total(KMSRequests)
+	bk := billable(kms, book.KMSFreeRequests)
+	add(Line{
+		Kind: KMSRequests, Detail: "kms requests",
+		Quantity: kms, Billable: bk,
+		Cost: book.KMSPerTenThousandRequests.MulFloat(bk / 1e4),
+	})
+	keys := m.Total(KMSCustomerKeys)
+	add(Line{
+		Kind: KMSCustomerKeys, Detail: "kms customer keys",
+		Quantity: keys, Billable: keys,
+		Cost: book.KMSPerCustomerKeyMonth.MulFloat(keys),
+	})
+
+	// SES.
+	ses := m.Total(SESMessages)
+	bm := billable(ses, book.SESFreeMessages)
+	add(Line{
+		Kind: SESMessages, Detail: "ses messages",
+		Quantity: ses, Billable: bm,
+		Cost: book.SESPerThousandMessages.MulFloat(bm / 1e3),
+	})
+
+	// DynamoDB consumed capacity.
+	wcu := m.Total(DynamoWCU)
+	bw := billable(wcu, book.DynamoFreeWCU)
+	add(Line{
+		Kind: DynamoWCU, Detail: "dynamodb write units",
+		Quantity: wcu, Billable: bw,
+		Cost: book.DynamoPerMillionWCU.MulFloat(bw / 1e6),
+	})
+	rcu := m.Total(DynamoRCU)
+	br := billable(rcu, book.DynamoFreeRCU)
+	add(Line{
+		Kind: DynamoRCU, Detail: "dynamodb read units",
+		Quantity: rcu, Billable: br,
+		Cost: book.DynamoPerMillionRCU.MulFloat(br / 1e6),
+	})
+
+	// EC2, one line per instance type for readability.
+	byType := m.ByResource(EC2Seconds)
+	types := make([]string, 0, len(byType))
+	for ty := range byType {
+		types = append(types, ty)
+	}
+	sort.Strings(types)
+	for _, ty := range types {
+		secs := byType[ty]
+		hours := secs / 3600
+		add(Line{
+			Kind: EC2Seconds, Detail: fmt.Sprintf("%s instance-hours", ty),
+			Quantity: hours, Billable: hours,
+			Cost: book.EC2Hourly(ty).MulFloat(hours),
+		})
+	}
+
+	return &Bill{Lines: lines}
+}

@@ -1,0 +1,210 @@
+package pricing
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeEmptyMeter(t *testing.T) {
+	b := Compute(Default2017(), NewMeter())
+	if len(b.Lines) != 0 {
+		t.Fatalf("empty meter produced %d lines", len(b.Lines))
+	}
+	if b.Total() != 0 {
+		t.Fatalf("empty meter total %v", b.Total())
+	}
+}
+
+func TestLambdaFreeTier(t *testing.T) {
+	book := Default2017()
+	m := NewMeter()
+	// Paper §6.1 group chat: 2000 requests/day × 30 days = 60k, well
+	// inside the 1M free requests; 60k × 0.5 s × 0.125 GB = 3750 GB-s,
+	// inside the 400k free GB-seconds. Compute cost must be $0.00.
+	m.Add(Usage{Kind: LambdaRequests, Quantity: 60_000})
+	m.Add(Usage{Kind: LambdaGBSeconds, Quantity: 3750})
+	b := Compute(book, m)
+	if got := b.TotalOf(LambdaRequests, LambdaGBSeconds); got != 0 {
+		t.Fatalf("chat compute cost = %v, want $0.00", got)
+	}
+}
+
+func TestLambdaBeyondFreeTier(t *testing.T) {
+	book := Default2017()
+	m := NewMeter()
+	m.Add(Usage{Kind: LambdaRequests, Quantity: 3_000_000})
+	m.Add(Usage{Kind: LambdaGBSeconds, Quantity: 500_000})
+	b := Compute(book, m)
+	// 2M billable requests × $0.20/M = $0.40.
+	if got, want := b.Line(LambdaRequests).Cost, FromDollars(0.40); got != want {
+		t.Fatalf("request cost %v, want %v", got, want)
+	}
+	// 100k billable GB-s × $0.00001667 = $1.667.
+	if got, want := b.Line(LambdaGBSeconds).Cost, FromDollars(1.667); got != want {
+		t.Fatalf("GB-s cost %v, want %v", got, want)
+	}
+}
+
+func TestTable1EC2EmailBill(t *testing.T) {
+	// Reproduce the paper's Table 1 exactly through the bill engine:
+	// compute $4.32 (t2.nano, 732 h), storage $0.17 (7.4 GB at S3
+	// rate), transfer $0.09 (2 GB − 1 GB free), total $4.58.
+	book := Default2017()
+	m := NewMeter()
+	m.Add(Usage{Kind: EC2Seconds, Quantity: MonthHours * 3600, Resource: "t2.nano"})
+	m.Add(Usage{Kind: S3StorageGBMo, Quantity: 7.4})
+	m.Add(Usage{Kind: TransferOutGB, Quantity: 2})
+	b := Compute(book, m)
+
+	if got := b.TotalOf(EC2Seconds).RoundCents(); got != FromDollars(4.32) {
+		t.Errorf("compute = %v, want $4.32", got)
+	}
+	if got := b.Line(S3StorageGBMo).Cost.RoundCents(); got != FromDollars(0.17) {
+		t.Errorf("storage = %v, want $0.17", got)
+	}
+	if got := b.Line(TransferOutGB).Cost.RoundCents(); got != FromDollars(0.09) {
+		t.Errorf("transfer = %v, want $0.09", got)
+	}
+	if got := b.Total().RoundCents(); got != FromDollars(4.58) {
+		t.Errorf("total = %v, want $4.58", got)
+	}
+}
+
+func TestTable2ChatStorageTransfer(t *testing.T) {
+	// Paper Table 2 group chat row: 2 GB storage + 2 GB transfer
+	// (1 GB free) = $0.14/month.
+	book := Default2017()
+	m := NewMeter()
+	m.Add(Usage{Kind: S3StorageGBMo, Quantity: 2})
+	m.Add(Usage{Kind: TransferOutGB, Quantity: 2})
+	b := Compute(book, m)
+	if got := b.Total().RoundCents(); got != FromDollars(0.14) {
+		t.Fatalf("chat storage+transfer = %v, want $0.14", got)
+	}
+}
+
+func TestSQSPollingInsideFreeTier(t *testing.T) {
+	// Paper §6.2: "Clients poll 876,000 times per month (assuming the
+	// maximum 20 second poll interval), which is well within the free
+	// tier."
+	book := Default2017()
+	m := NewMeter()
+	m.Add(Usage{Kind: SQSRequests, Quantity: 876_000})
+	b := Compute(book, m)
+	if got := b.Line(SQSRequests).Cost; got != 0 {
+		t.Fatalf("876k SQS polls cost %v, want $0.00", got)
+	}
+	// Beyond the tier: 2M requests → 1M billable × $0.40/M = $0.40.
+	m.Add(Usage{Kind: SQSRequests, Quantity: 1_124_000})
+	b = Compute(book, m)
+	if got := b.Line(SQSRequests).Cost; got != FromDollars(0.40) {
+		t.Fatalf("2M SQS requests cost %v, want $0.40", got)
+	}
+}
+
+func TestKMSLines(t *testing.T) {
+	book := Default2017()
+	m := NewMeter()
+	m.Add(Usage{Kind: KMSRequests, Quantity: 30_000})
+	m.Add(Usage{Kind: KMSCustomerKeys, Quantity: 2})
+	b := Compute(book, m)
+	// 10k billable × $0.03/10k = $0.03.
+	if got := b.Line(KMSRequests).Cost; got != FromDollars(0.03) {
+		t.Fatalf("kms requests %v, want $0.03", got)
+	}
+	if got := b.Line(KMSCustomerKeys).Cost; got != FromDollars(2.00) {
+		t.Fatalf("kms keys %v, want $2.00", got)
+	}
+}
+
+func TestSESFreeTier(t *testing.T) {
+	book := Default2017()
+	m := NewMeter()
+	m.Add(Usage{Kind: SESMessages, Quantity: 15_000}) // email at 500/day
+	b := Compute(book, m)
+	if got := b.Line(SESMessages).Cost; got != 0 {
+		t.Fatalf("15k SES messages cost %v, want $0.00", got)
+	}
+}
+
+func TestS3RequestPricing(t *testing.T) {
+	book := Default2017()
+	m := NewMeter()
+	m.Add(Usage{Kind: S3PutRequests, Quantity: 10_000})
+	m.Add(Usage{Kind: S3GetRequests, Quantity: 100_000})
+	b := Compute(book, m)
+	if got := b.Line(S3PutRequests).Cost; got != FromDollars(0.05) {
+		t.Fatalf("10k PUTs %v, want $0.05", got)
+	}
+	if got := b.Line(S3GetRequests).Cost; got != FromDollars(0.04) {
+		t.Fatalf("100k GETs %v, want $0.04", got)
+	}
+}
+
+func TestEC2PerTypeLines(t *testing.T) {
+	book := Default2017()
+	m := NewMeter()
+	m.Add(Usage{Kind: EC2Seconds, Quantity: 3600, Resource: "t2.medium"})
+	m.Add(Usage{Kind: EC2Seconds, Quantity: 7200, Resource: "t2.nano"})
+	b := Compute(book, m)
+	var medium, nano Money
+	for _, l := range b.Lines {
+		switch l.Detail {
+		case "t2.medium instance-hours":
+			medium = l.Cost
+		case "t2.nano instance-hours":
+			nano = l.Cost
+		}
+	}
+	if medium != FromDollars(0.0464) {
+		t.Errorf("1h t2.medium = %v, want $0.0464", medium)
+	}
+	if nano != FromDollars(0.0118) {
+		t.Errorf("2h t2.nano = %v, want $0.0118", nano)
+	}
+}
+
+func TestBillString(t *testing.T) {
+	book := Default2017()
+	m := NewMeter()
+	m.Add(Usage{Kind: S3StorageGBMo, Quantity: 5})
+	s := Compute(book, m).String()
+	if !strings.Contains(s, "s3 storage GB-months") || !strings.Contains(s, "TOTAL") {
+		t.Fatalf("bill rendering missing expected rows:\n%s", s)
+	}
+}
+
+func TestHourLongHDCallClaim(t *testing.T) {
+	// Paper §6.1/§9: "a single hour-long HD call will cost roughly
+	// $0.11": one t2.medium hour plus ~0.7 GB billed outbound relay
+	// traffic (half of the 3 Mbps call bandwidth, no free tier left).
+	book := Default2017()
+	compute := book.EC2Hourly("t2.medium")
+	transfer := book.TransferOutPerGB.MulFloat(0.7)
+	got := (compute + transfer).RoundCents()
+	if got != FromDollars(0.11) {
+		t.Fatalf("hour-long HD call = %v, want $0.11", got)
+	}
+}
+
+func TestWithoutFreeTiers(t *testing.T) {
+	book := Default2017().WithoutFreeTiers()
+	m := NewMeter()
+	m.Add(Usage{Kind: LambdaRequests, Quantity: 1000})
+	m.Add(Usage{Kind: SQSRequests, Quantity: 1000})
+	m.Add(Usage{Kind: TransferOutGB, Quantity: 0.5})
+	b := Compute(book, m)
+	// Everything is billable with no allowances.
+	for _, l := range b.Lines {
+		if l.Billable != l.Quantity {
+			t.Errorf("%s: billable %v != quantity %v", l.Detail, l.Billable, l.Quantity)
+		}
+	}
+	if b.Total() <= 0 {
+		t.Fatal("list price of nonzero usage is zero")
+	}
+	// The original book is untouched.
+	if Default2017().LambdaFreeRequests != 1_000_000 {
+		t.Fatal("WithoutFreeTiers mutated the source book")
+	}
+}

@@ -1,0 +1,130 @@
+package pricing
+
+import "time"
+
+// MonthHours is the billing month length used throughout the cost
+// analysis. The paper's Table 1 compute row ($4.32 for a t2.nano)
+// corresponds to 732 hours at $0.0059/hour — the AWS Simple Monthly
+// Calculator's convention of 30.5 days.
+const MonthHours = 732
+
+// Month is the simulated billing month as a duration.
+const Month = MonthHours * time.Hour
+
+// BillingQuantum is Lambda's execution-time billing increment: "Execution
+// time is measured in increments of 100ms."
+const BillingQuantum = 100 * time.Millisecond
+
+// PriceBook holds the unit prices and free-tier allowances of every
+// simulated service. All values default to mid-2017 AWS list prices,
+// the ones the paper's analysis uses.
+type PriceBook struct {
+	// Lambda: "$0.20 fee for every million requests and $0.00001667 for
+	// every GB-second, with one million free requests and 400,000 free
+	// GB-seconds each month."
+	LambdaPerMillionRequests Money
+	LambdaPerGBSecond        Money
+	LambdaFreeRequests       float64
+	LambdaFreeGBSeconds      float64
+
+	// S3 object storage.
+	S3StoragePerGBMonth Money
+	S3PerThousandPUT    Money
+	S3PerThousandGET    Money
+
+	// Internet data transfer out of the cloud. The first
+	// TransferFreeGB each month are free (2017 AWS account-wide tier).
+	TransferOutPerGB Money
+	TransferFreeGB   float64
+
+	// SQS: "one million free requests per month and charges $0.40 for
+	// every million requests thereafter."
+	SQSPerMillionRequests Money
+	SQSFreeRequests       float64
+
+	// KMS: per-request price beyond the free allowance, plus the
+	// monthly charge for each customer-managed master key (apps using
+	// the provider-managed default key avoid it).
+	KMSPerTenThousandRequests Money
+	KMSFreeRequests           float64
+	KMSPerCustomerKeyMonth    Money
+
+	// SES email sending; the free allowance covers mail sent from
+	// Lambda or EC2.
+	SESPerThousandMessages Money
+	SESFreeMessages        float64
+
+	// DynamoDB consumed capacity, priced per million units at the
+	// fully utilized provisioned-capacity equivalent ($0.00065/WCU-h,
+	// $0.00013/RCU-h in 2017); the always-free 25 provisioned units
+	// translate to the monthly free unit allowances below.
+	DynamoPerMillionWCU Money
+	DynamoPerMillionRCU Money
+	DynamoFreeWCU       float64
+	DynamoFreeRCU       float64
+
+	// EC2 on-demand hourly prices by instance type, billed per second.
+	EC2HourlyByType map[string]Money
+}
+
+// Default2017 returns the mid-2017 AWS us-west-2 list prices.
+func Default2017() *PriceBook {
+	return &PriceBook{
+		LambdaPerMillionRequests: FromDollars(0.20),
+		LambdaPerGBSecond:        FromDollars(0.00001667),
+		LambdaFreeRequests:       1_000_000,
+		LambdaFreeGBSeconds:      400_000,
+
+		S3StoragePerGBMonth: FromDollars(0.023),
+		S3PerThousandPUT:    FromDollars(0.005),
+		S3PerThousandGET:    FromDollars(0.0004),
+
+		TransferOutPerGB: FromDollars(0.09),
+		TransferFreeGB:   1,
+
+		SQSPerMillionRequests: FromDollars(0.40),
+		SQSFreeRequests:       1_000_000,
+
+		KMSPerTenThousandRequests: FromDollars(0.03),
+		KMSFreeRequests:           20_000,
+		KMSPerCustomerKeyMonth:    FromDollars(1.00),
+
+		SESPerThousandMessages: FromDollars(0.10),
+		SESFreeMessages:        62_000,
+
+		DynamoPerMillionWCU: FromDollars(0.1806), // $0.00065/h ÷ 3600 × 1e6
+		DynamoPerMillionRCU: FromDollars(0.0361), // $0.00013/h ÷ 3600 × 1e6
+		DynamoFreeWCU:       25 * MonthHours * 3600,
+		DynamoFreeRCU:       25 * MonthHours * 3600,
+
+		EC2HourlyByType: map[string]Money{
+			"t2.nano":   FromDollars(0.0059),
+			"t2.micro":  FromDollars(0.012),
+			"t2.small":  FromDollars(0.023),
+			"t2.medium": FromDollars(0.0464),
+			"t2.large":  FromDollars(0.0928),
+		},
+	}
+}
+
+// WithoutFreeTiers returns a copy of the book with every free
+// allowance removed — the list price of usage, used for per-app cost
+// attribution (free tiers apply account-wide, not per app).
+func (b *PriceBook) WithoutFreeTiers() *PriceBook {
+	cp := *b
+	cp.LambdaFreeRequests = 0
+	cp.LambdaFreeGBSeconds = 0
+	cp.TransferFreeGB = 0
+	cp.SQSFreeRequests = 0
+	cp.KMSFreeRequests = 0
+	cp.SESFreeMessages = 0
+	cp.DynamoFreeWCU = 0
+	cp.DynamoFreeRCU = 0
+	return &cp
+}
+
+// EC2Hourly reports the hourly price for an instance type, or zero if
+// the type is unknown.
+func (b *PriceBook) EC2Hourly(instanceType string) Money {
+	return b.EC2HourlyByType[instanceType]
+}

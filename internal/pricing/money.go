@@ -1,0 +1,58 @@
+// Package pricing implements the 2017 AWS price book, a thread-safe
+// usage meter, and monthly bill computation with free tiers. Every cost
+// number in the paper's Tables 1 and 2 is regenerated through this
+// package rather than hardcoded.
+package pricing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Money is an amount of US dollars held in nanodollars, so unit prices
+// like Lambda's $0.00001667 per GB-second are exact.
+type Money int64
+
+// Nanodollar scale constants.
+const (
+	Nano   Money = 1
+	Micro  Money = 1e3
+	Cent   Money = 1e7
+	Dollar Money = 1e9
+)
+
+// FromDollars converts a dollar amount to Money, rounding to the
+// nearest nanodollar.
+func FromDollars(d float64) Money {
+	return Money(math.Round(d * float64(Dollar)))
+}
+
+// Dollars reports the amount as a float64 dollar value.
+func (m Money) Dollars() float64 { return float64(m) / float64(Dollar) }
+
+// MulFloat scales the amount by a quantity, rounding to the nearest
+// nanodollar. Used for fractional usage such as 3750.5 GB-seconds.
+func (m Money) MulFloat(q float64) Money {
+	return Money(math.Round(float64(m) * q))
+}
+
+// RoundCents rounds to the nearest cent, the resolution the paper's
+// tables report.
+func (m Money) RoundCents() Money {
+	half := Cent / 2
+	if m < 0 {
+		return -((-m + half) / Cent * Cent)
+	}
+	return (m + half) / Cent * Cent
+}
+
+// String formats the amount as the paper does: "$4.58", "$0.26".
+func (m Money) String() string {
+	r := m.RoundCents()
+	neg := ""
+	if r < 0 {
+		neg = "-"
+		r = -r
+	}
+	return fmt.Sprintf("%s$%d.%02d", neg, r/Dollar, (r%Dollar)/Cent)
+}

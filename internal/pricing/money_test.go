@@ -1,0 +1,97 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromDollarsRoundTrip(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want Money
+	}{
+		{0, 0},
+		{1, Dollar},
+		{0.26, 26 * Cent},
+		{0.00001667, 16670 * Micro / 1000}, // 16,670 nanodollars
+		{4.58, 4*Dollar + 58*Cent},
+		{-1.5, -(Dollar + 50*Cent)},
+	}
+	for _, tt := range tests {
+		if got := FromDollars(tt.in); got != tt.want {
+			t.Errorf("FromDollars(%v) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestMoneyString(t *testing.T) {
+	tests := []struct {
+		in   Money
+		want string
+	}{
+		{FromDollars(4.58), "$4.58"},
+		{FromDollars(0.26), "$0.26"},
+		{FromDollars(0.005), "$0.01"},  // rounds up at half-cent
+		{FromDollars(0.0049), "$0.00"}, // rounds down below half-cent
+		{FromDollars(-1.25), "-$1.25"},
+		{0, "$0.00"},
+		{FromDollars(123.456), "$123.46"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestMulFloat(t *testing.T) {
+	perGBs := FromDollars(0.00001667)
+	// The paper's chat service: 60k requests × 0.5 s × 0.125 GB = 3750 GB-s.
+	got := perGBs.MulFloat(3750)
+	want := FromDollars(0.0625125)
+	if got != want {
+		t.Fatalf("3750 GB-s = %d (%v), want %d (%v)", got, got, want, want)
+	}
+	if perGBs.MulFloat(0) != 0 {
+		t.Fatal("MulFloat(0) must be 0")
+	}
+}
+
+func TestRoundCentsProperty(t *testing.T) {
+	// Property: rounding to cents never moves an amount by more than
+	// half a cent, and the result is always a whole number of cents.
+	f := func(n int64) bool {
+		m := Money(n)
+		r := m.RoundCents()
+		if r%Cent != 0 {
+			return false
+		}
+		diff := r - m
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= Cent/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDollarsInverseProperty(t *testing.T) {
+	// Property: FromDollars(m.Dollars()) == m for amounts that fit
+	// float64's integer-exact range.
+	f := func(n int32) bool {
+		m := Money(n) * Micro
+		return FromDollars(m.Dollars()) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDollars(t *testing.T) {
+	if d := FromDollars(0.14).Dollars(); math.Abs(d-0.14) > 1e-12 {
+		t.Fatalf("Dollars() = %v, want 0.14", d)
+	}
+}

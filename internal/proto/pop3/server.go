@@ -1,0 +1,337 @@
+// Package pop3 implements a minimal RFC 1939 POP3 server over real
+// TCP. Together with internal/proto/smtp it completes the standard
+// mail path for a DIY mailbox: mail arrives over SMTP and is retrieved
+// over POP3, with the DIY deployment in between holding only
+// ciphertext. The examples bridge RETR/DELE to the email app's
+// fetch/delete operations.
+package pop3
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Maildrop is the backing mailbox a session serves. Implementations
+// bridge to a DIY email deployment.
+type Maildrop interface {
+	// Stat returns message count and total size in bytes.
+	Stat() (count, size int, err error)
+	// List returns the size of message n (1-based), or all sizes when
+	// n == 0.
+	List(n int) (map[int]int, error)
+	// Retr returns message n's full RFC 822 text.
+	Retr(n int) ([]byte, error)
+	// Dele marks message n deleted (applied at QUIT).
+	Dele(n int) error
+}
+
+// Authenticator validates USER/PASS and returns the user's maildrop.
+type Authenticator func(user, pass string) (Maildrop, error)
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("pop3: server closed")
+
+// Server is a POP3 server bound to a listener.
+type Server struct {
+	// Hostname is announced in the greeting.
+	Hostname string
+	// Auth validates credentials. Required.
+	Auth Authenticator
+	// ReadTimeout bounds each command read (default 2 minutes).
+	ReadTimeout time.Duration
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// Serve accepts connections on l until Close.
+func (s *Server) Serve(l net.Listener) error {
+	if s.Auth == nil {
+		return errors.New("pop3: server requires an Authenticator")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listener = l
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("pop3: accept: %w", err)
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.session(conn)
+	}
+}
+
+// Close stops the listener and active sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Server) hostname() string {
+	if s.Hostname != "" {
+		return s.Hostname
+	}
+	return "diy.invalid"
+}
+
+func (s *Server) readTimeout() time.Duration {
+	if s.ReadTimeout > 0 {
+		return s.ReadTimeout
+	}
+	return 2 * time.Minute
+}
+
+func (s *Server) session(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	ok := func(format string, args ...any) bool {
+		fmt.Fprintf(w, "+OK "+format+"\r\n", args...)
+		return w.Flush() == nil
+	}
+	fail := func(format string, args ...any) bool {
+		fmt.Fprintf(w, "-ERR "+format+"\r\n", args...)
+		return w.Flush() == nil
+	}
+	if !ok("%s POP3 server ready", s.hostname()) {
+		return
+	}
+
+	var user string
+	var drop Maildrop
+	deleted := make(map[int]bool)
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.readTimeout()))
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		verb, arg := splitVerb(strings.TrimRight(line, "\r\n"))
+		switch verb {
+		case "USER":
+			user = arg
+			if !ok("send PASS") {
+				return
+			}
+		case "PASS":
+			if user == "" {
+				if !fail("send USER first") {
+					return
+				}
+				continue
+			}
+			d, err := s.Auth(user, arg)
+			if err != nil {
+				user = ""
+				if !fail("authentication failed") {
+					return
+				}
+				continue
+			}
+			drop = d
+			if !ok("maildrop locked and ready") {
+				return
+			}
+		case "STAT":
+			if drop == nil {
+				if !fail("not authenticated") {
+					return
+				}
+				continue
+			}
+			count, size, err := drop.Stat()
+			if err != nil {
+				if !fail("%v", err) {
+					return
+				}
+				continue
+			}
+			if !ok("%d %d", count, size) {
+				return
+			}
+		case "LIST":
+			if drop == nil {
+				if !fail("not authenticated") {
+					return
+				}
+				continue
+			}
+			n := 0
+			if arg != "" {
+				n, err = strconv.Atoi(arg)
+				if err != nil || n <= 0 {
+					if !fail("bad message number") {
+						return
+					}
+					continue
+				}
+			}
+			sizes, err := drop.List(n)
+			if err != nil {
+				if !fail("%v", err) {
+					return
+				}
+				continue
+			}
+			if n > 0 {
+				size, present := sizes[n]
+				if !present || deleted[n] {
+					if !fail("no such message") {
+						return
+					}
+					continue
+				}
+				if !ok("%d %d", n, size) {
+					return
+				}
+				continue
+			}
+			nums := make([]int, 0, len(sizes))
+			for num := range sizes {
+				if !deleted[num] {
+					nums = append(nums, num)
+				}
+			}
+			sort.Ints(nums)
+			fmt.Fprintf(w, "+OK %d messages\r\n", len(nums))
+			for _, num := range nums {
+				fmt.Fprintf(w, "%d %d\r\n", num, sizes[num])
+			}
+			fmt.Fprintf(w, ".\r\n")
+			if w.Flush() != nil {
+				return
+			}
+		case "RETR":
+			if drop == nil {
+				if !fail("not authenticated") {
+					return
+				}
+				continue
+			}
+			n, err := strconv.Atoi(arg)
+			if err != nil || n <= 0 || deleted[n] {
+				if !fail("no such message") {
+					return
+				}
+				continue
+			}
+			body, err := drop.Retr(n)
+			if err != nil {
+				if !fail("no such message") {
+					return
+				}
+				continue
+			}
+			fmt.Fprintf(w, "+OK %d octets\r\n", len(body))
+			writeDotStuffed(w, body)
+			fmt.Fprintf(w, ".\r\n")
+			if w.Flush() != nil {
+				return
+			}
+		case "DELE":
+			if drop == nil {
+				if !fail("not authenticated") {
+					return
+				}
+				continue
+			}
+			n, err := strconv.Atoi(arg)
+			if err != nil || n <= 0 || deleted[n] {
+				if !fail("no such message") {
+					return
+				}
+				continue
+			}
+			deleted[n] = true
+			if !ok("message %d deleted", n) {
+				return
+			}
+		case "RSET":
+			deleted = make(map[int]bool)
+			if !ok("reset") {
+				return
+			}
+		case "NOOP":
+			if !ok("") {
+				return
+			}
+		case "QUIT":
+			// Apply deletions on update state, per RFC 1939.
+			if drop != nil {
+				for n := range deleted {
+					drop.Dele(n)
+				}
+			}
+			ok("bye")
+			return
+		default:
+			if !fail("unknown command %q", verb) {
+				return
+			}
+		}
+	}
+}
+
+// writeDotStuffed emits the body with leading dots doubled, line
+// endings normalized to CRLF.
+func writeDotStuffed(w *bufio.Writer, body []byte) {
+	for _, line := range strings.Split(strings.ReplaceAll(string(body), "\r\n", "\n"), "\n") {
+		if strings.HasPrefix(line, ".") {
+			w.WriteString(".")
+		}
+		w.WriteString(line)
+		w.WriteString("\r\n")
+	}
+}
+
+func splitVerb(line string) (verb, arg string) {
+	line = strings.TrimSpace(line)
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		return strings.ToUpper(line[:i]), strings.TrimSpace(line[i+1:])
+	}
+	return strings.ToUpper(line), ""
+}

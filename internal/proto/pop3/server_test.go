@@ -1,0 +1,336 @@
+package pop3
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memDrop is an in-memory maildrop for protocol tests.
+type memDrop struct {
+	mu   sync.Mutex
+	msgs map[int][]byte
+}
+
+func newMemDrop(msgs ...string) *memDrop {
+	d := &memDrop{msgs: make(map[int][]byte)}
+	for i, m := range msgs {
+		d.msgs[i+1] = []byte(m)
+	}
+	return d
+}
+
+func (d *memDrop) Stat() (int, int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	size := 0
+	for _, m := range d.msgs {
+		size += len(m)
+	}
+	return len(d.msgs), size, nil
+}
+
+func (d *memDrop) List(n int) (map[int]int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[int]int)
+	for num, m := range d.msgs {
+		if n == 0 || n == num {
+			out[num] = len(m)
+		}
+	}
+	return out, nil
+}
+
+func (d *memDrop) Retr(n int) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.msgs[n]
+	if !ok {
+		return nil, errors.New("no such message")
+	}
+	return m, nil
+}
+
+func (d *memDrop) Dele(n int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.msgs, n)
+	return nil
+}
+
+func startServer(t *testing.T, drop *memDrop) string {
+	t.Helper()
+	s := &Server{
+		Hostname: "mail.diy.example",
+		Auth: func(user, pass string) (Maildrop, error) {
+			if user != "casey" || pass != "hunter2" {
+				return nil, errors.New("bad credentials")
+			}
+			return drop, nil
+		},
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	return l.Addr().String()
+}
+
+type script struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *script {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &script{t: t, conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (s *script) line() string {
+	s.t.Helper()
+	line, err := s.r.ReadString('\n')
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+func (s *script) expectOK() string {
+	s.t.Helper()
+	line := s.line()
+	if !strings.HasPrefix(line, "+OK") {
+		s.t.Fatalf("got %q, want +OK", line)
+	}
+	return line
+}
+
+func (s *script) expectErr() {
+	s.t.Helper()
+	line := s.line()
+	if !strings.HasPrefix(line, "-ERR") {
+		s.t.Fatalf("got %q, want -ERR", line)
+	}
+}
+
+func (s *script) send(line string) {
+	s.t.Helper()
+	if _, err := fmt.Fprintf(s.conn, "%s\r\n", line); err != nil {
+		s.t.Fatal(err)
+	}
+}
+
+func (s *script) login() {
+	s.t.Helper()
+	s.expectOK()
+	s.send("USER casey")
+	s.expectOK()
+	s.send("PASS hunter2")
+	s.expectOK()
+}
+
+func TestStatListRetr(t *testing.T) {
+	drop := newMemDrop("Subject: a\r\n\r\nbody-a\r\n", "Subject: b\r\n\r\nbody-b\r\n")
+	sc := dial(t, startServer(t, drop))
+	sc.login()
+
+	sc.send("STAT")
+	if line := sc.expectOK(); !strings.Contains(line, "2 ") {
+		t.Fatalf("STAT = %q", line)
+	}
+	sc.send("LIST")
+	sc.expectOK()
+	var listing []string
+	for {
+		l := sc.line()
+		if l == "." {
+			break
+		}
+		listing = append(listing, l)
+	}
+	if len(listing) != 2 || !strings.HasPrefix(listing[0], "1 ") {
+		t.Fatalf("LIST = %v", listing)
+	}
+	sc.send("LIST 2")
+	sc.expectOK()
+	sc.send("LIST 99")
+	sc.expectErr()
+
+	sc.send("RETR 1")
+	sc.expectOK()
+	var body []string
+	for {
+		l := sc.line()
+		if l == "." {
+			break
+		}
+		body = append(body, l)
+	}
+	if !strings.Contains(strings.Join(body, "\n"), "body-a") {
+		t.Fatalf("RETR body = %v", body)
+	}
+	sc.send("QUIT")
+	sc.expectOK()
+}
+
+func TestAuthentication(t *testing.T) {
+	sc := dial(t, startServer(t, newMemDrop()))
+	sc.expectOK()
+	// PASS before USER.
+	sc.send("PASS x")
+	sc.expectErr()
+	// Wrong password.
+	sc.send("USER casey")
+	sc.expectOK()
+	sc.send("PASS wrong")
+	sc.expectErr()
+	// Commands before auth.
+	sc.send("STAT")
+	sc.expectErr()
+	sc.send("RETR 1")
+	sc.expectErr()
+	// Correct login still possible.
+	sc.send("USER casey")
+	sc.expectOK()
+	sc.send("PASS hunter2")
+	sc.expectOK()
+	sc.send("STAT")
+	sc.expectOK()
+}
+
+func TestDeleAppliedAtQuit(t *testing.T) {
+	drop := newMemDrop("one", "two")
+	addr := startServer(t, drop)
+	sc := dial(t, addr)
+	sc.login()
+	sc.send("DELE 1")
+	sc.expectOK()
+	// Deleted messages vanish from the session view...
+	sc.send("RETR 1")
+	sc.expectErr()
+	sc.send("DELE 1")
+	sc.expectErr()
+	// ...but survive until QUIT if RSET.
+	sc.send("RSET")
+	sc.expectOK()
+	sc.send("RETR 1")
+	sc.expectOK()
+	for sc.line() != "." {
+	}
+	// Delete again and QUIT: now it is applied.
+	sc.send("DELE 1")
+	sc.expectOK()
+	sc.send("QUIT")
+	sc.expectOK()
+
+	if n, _, _ := drop.Stat(); n != 1 {
+		t.Fatalf("maildrop has %d messages after QUIT, want 1", n)
+	}
+}
+
+func TestDotStuffingOnRetr(t *testing.T) {
+	drop := newMemDrop(".leading dot line\r\nnormal\r\n")
+	sc := dial(t, startServer(t, drop))
+	sc.login()
+	sc.send("RETR 1")
+	sc.expectOK()
+	first := sc.line()
+	if first != "..leading dot line" {
+		t.Fatalf("dot not stuffed: %q", first)
+	}
+	for sc.line() != "." {
+	}
+}
+
+func TestUnknownCommandAndNoop(t *testing.T) {
+	sc := dial(t, startServer(t, newMemDrop()))
+	sc.login()
+	sc.send("XFROB")
+	sc.expectErr()
+	sc.send("NOOP")
+	sc.expectOK()
+}
+
+func TestServeRequiresAuth(t *testing.T) {
+	s := &Server{}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := s.Serve(l); err == nil {
+		t.Fatal("Serve without Authenticator succeeded")
+	}
+}
+
+func TestCloseStopsServer(t *testing.T) {
+	s := &Server{Auth: func(u, p string) (Maildrop, error) { return newMemDrop(), nil }}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-done:
+		if err != ErrServerClosed {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not stop")
+	}
+}
+
+// errDrop fails every operation, covering the -ERR plumbing.
+type errDrop struct{}
+
+func (errDrop) Stat() (int, int, error)       { return 0, 0, errors.New("backend down") }
+func (errDrop) List(int) (map[int]int, error) { return nil, errors.New("backend down") }
+func (errDrop) Retr(int) ([]byte, error)      { return nil, errors.New("backend down") }
+func (errDrop) Dele(int) error                { return errors.New("backend down") }
+
+func TestBackendErrorsSurfaceAsERR(t *testing.T) {
+	s := &Server{Auth: func(u, p string) (Maildrop, error) { return errDrop{}, nil }}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+
+	sc := dial(t, l.Addr().String())
+	sc.expectOK()
+	sc.send("USER x")
+	sc.expectOK()
+	sc.send("PASS y")
+	sc.expectOK()
+	sc.send("STAT")
+	sc.expectErr()
+	sc.send("LIST")
+	sc.expectErr()
+	sc.send("RETR 1")
+	sc.expectErr()
+	sc.send("LIST abc")
+	sc.expectErr()
+	sc.send("DELE -1")
+	sc.expectErr()
+	sc.send("RETR zero")
+	sc.expectErr()
+	sc.send("QUIT")
+	sc.expectOK()
+}

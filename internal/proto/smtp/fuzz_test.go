@@ -1,0 +1,31 @@
+package smtp
+
+import "testing"
+
+// FuzzParsePath checks the address parser never panics and that
+// accepted reverse-paths are well-formed.
+func FuzzParsePath(f *testing.F) {
+	f.Add("FROM:<a@b.c>")
+	f.Add("FROM:<>")
+	f.Add("TO:<x@y.z> SIZE=100")
+	f.Add("FROM:a@b.c")
+	f.Add("")
+	f.Add("FROM:<@@@>")
+	f.Fuzz(func(t *testing.T, arg string) {
+		addr, err := parsePath(arg, "FROM")
+		if err != nil {
+			return
+		}
+		if addr != "" {
+			found := false
+			for _, r := range addr {
+				if r == '@' {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("accepted address %q without @", addr)
+			}
+		}
+	})
+}

@@ -1,0 +1,330 @@
+// Package smtp implements a minimal RFC 5321 SMTP server over real TCP.
+//
+// The paper's email service receives mail through a provider hook
+// because "Lambda currently does not support SMTP endpoints"; this
+// package is the endpoint a DIY deployment would run if the platform
+// did (§8.3 asks for exactly this: "expand cloud platforms so they can
+// efficiently store arbitrary TCP servers"). The email example wires it
+// to the same encrypt-and-store handler the SES hook uses, so both
+// ingestion paths exercise identical application code.
+package smtp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Handler receives one accepted message. Returning an error rejects
+// the message with a transient 451 so a real sender would retry.
+type Handler func(from string, to []string, data []byte) error
+
+// Server is an SMTP server bound to a listener.
+type Server struct {
+	// Hostname is announced in the greeting and EHLO response.
+	Hostname string
+	// Handler receives accepted messages. Required.
+	Handler Handler
+	// MaxMessageBytes caps DATA size (default 10 MiB).
+	MaxMessageBytes int
+	// ReadTimeout bounds each command read (default 2 minutes).
+	ReadTimeout time.Duration
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("smtp: server closed")
+
+const defaultMaxMessage = 10 << 20
+
+// Serve accepts connections on l until Close is called.
+func (s *Server) Serve(l net.Listener) error {
+	if s.Handler == nil {
+		return errors.New("smtp: server requires a Handler")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listener = l
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("smtp: accept: %w", err)
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.session(conn)
+	}
+}
+
+// Close stops the listener and closes active sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Server) hostname() string {
+	if s.Hostname != "" {
+		return s.Hostname
+	}
+	return "diy.invalid"
+}
+
+func (s *Server) maxMessage() int {
+	if s.MaxMessageBytes > 0 {
+		return s.MaxMessageBytes
+	}
+	return defaultMaxMessage
+}
+
+func (s *Server) readTimeout() time.Duration {
+	if s.ReadTimeout > 0 {
+		return s.ReadTimeout
+	}
+	return 2 * time.Minute
+}
+
+type sessionState struct {
+	helloSeen bool
+	from      string
+	fromSeen  bool
+	rcpts     []string
+}
+
+func (st *sessionState) resetMail() {
+	st.from = ""
+	st.fromSeen = false
+	st.rcpts = nil
+}
+
+func (s *Server) session(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	reply := func(code int, text string) bool {
+		fmt.Fprintf(w, "%d %s\r\n", code, text)
+		return w.Flush() == nil
+	}
+	if !reply(220, s.hostname()+" DIY SMTP service ready") {
+		return
+	}
+
+	var st sessionState
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.readTimeout()))
+		line, err := readLine(r)
+		if err != nil {
+			return
+		}
+		verb, arg := splitVerb(line)
+		switch verb {
+		case "HELO":
+			st = sessionState{helloSeen: true}
+			if !reply(250, s.hostname()) {
+				return
+			}
+		case "EHLO":
+			st = sessionState{helloSeen: true}
+			fmt.Fprintf(w, "250-%s\r\n", s.hostname())
+			fmt.Fprintf(w, "250-SIZE %d\r\n", s.maxMessage())
+			fmt.Fprintf(w, "250 8BITMIME\r\n")
+			if w.Flush() != nil {
+				return
+			}
+		case "MAIL":
+			if !st.helloSeen {
+				if !reply(503, "say HELO first") {
+					return
+				}
+				continue
+			}
+			addr, perr := parsePath(arg, "FROM")
+			if perr != nil {
+				if !reply(501, perr.Error()) {
+					return
+				}
+				continue
+			}
+			st.resetMail()
+			st.from = addr
+			st.fromSeen = true
+			if !reply(250, "OK") {
+				return
+			}
+		case "RCPT":
+			if !st.fromSeen {
+				if !reply(503, "need MAIL before RCPT") {
+					return
+				}
+				continue
+			}
+			addr, perr := parsePath(arg, "TO")
+			if perr != nil || addr == "" {
+				if !reply(501, "bad recipient") {
+					return
+				}
+				continue
+			}
+			st.rcpts = append(st.rcpts, addr)
+			if !reply(250, "OK") {
+				return
+			}
+		case "DATA":
+			if !st.fromSeen || len(st.rcpts) == 0 {
+				if !reply(503, "need MAIL and RCPT before DATA") {
+					return
+				}
+				continue
+			}
+			if !reply(354, "end data with <CRLF>.<CRLF>") {
+				return
+			}
+			conn.SetReadDeadline(time.Now().Add(s.readTimeout()))
+			data, derr := readData(r, s.maxMessage())
+			if derr != nil {
+				reply(552, "message too large")
+				return
+			}
+			if herr := s.Handler(st.from, st.rcpts, data); herr != nil {
+				if !reply(451, "local processing error, try again") {
+					return
+				}
+			} else if !reply(250, "OK: queued") {
+				return
+			}
+			st.resetMail()
+		case "RSET":
+			st.resetMail()
+			if !reply(250, "OK") {
+				return
+			}
+		case "NOOP":
+			if !reply(250, "OK") {
+				return
+			}
+		case "VRFY":
+			if !reply(252, "cannot VRFY user, accepting message anyway") {
+				return
+			}
+		case "QUIT":
+			reply(221, "bye")
+			return
+		default:
+			if !reply(502, "command not implemented") {
+				return
+			}
+		}
+	}
+}
+
+// readLine reads one CRLF-terminated command line.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// readData reads the DATA body up to the lone-dot terminator,
+// un-stuffing leading dots per RFC 5321 §4.5.2.
+func readData(r *bufio.Reader, limit int) ([]byte, error) {
+	var b strings.Builder
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		trimmed := strings.TrimRight(line, "\r\n")
+		if trimmed == "." {
+			return []byte(b.String()), nil
+		}
+		if strings.HasPrefix(trimmed, ".") {
+			trimmed = trimmed[1:]
+		}
+		if b.Len()+len(trimmed)+2 > limit {
+			// Drain to the terminator so the session can continue, then
+			// report the overflow.
+			for {
+				l2, err := r.ReadString('\n')
+				if err != nil || strings.TrimRight(l2, "\r\n") == "." {
+					break
+				}
+			}
+			return nil, errors.New("smtp: message exceeds size limit")
+		}
+		b.WriteString(trimmed)
+		b.WriteString("\r\n")
+	}
+}
+
+// splitVerb separates "MAIL FROM:<a@b>" into ("MAIL", "FROM:<a@b>").
+func splitVerb(line string) (verb, arg string) {
+	line = strings.TrimSpace(line)
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		return strings.ToUpper(line[:i]), strings.TrimSpace(line[i+1:])
+	}
+	return strings.ToUpper(line), ""
+}
+
+// parsePath extracts the address from "FROM:<a@b>" / "TO:<a@b>".
+// An empty reverse-path ("FROM:<>", used for bounces) is allowed.
+func parsePath(arg, keyword string) (string, error) {
+	upper := strings.ToUpper(arg)
+	prefix := keyword + ":"
+	if !strings.HasPrefix(upper, prefix) {
+		return "", fmt.Errorf("expected %s:<address>", keyword)
+	}
+	rest := strings.TrimSpace(arg[len(prefix):])
+	// Drop ESMTP parameters after the path.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	if !strings.HasPrefix(rest, "<") || !strings.HasSuffix(rest, ">") {
+		return "", errors.New("address must be enclosed in <>")
+	}
+	addr := rest[1 : len(rest)-1]
+	if addr != "" && !strings.Contains(addr, "@") {
+		return "", errors.New("address must contain @")
+	}
+	return addr, nil
+}

@@ -1,0 +1,332 @@
+package smtp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	netsmtp "net/smtp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type capture struct {
+	mu   sync.Mutex
+	from string
+	to   []string
+	data []byte
+	errs int
+}
+
+func (c *capture) handler(from string, to []string, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.from, c.to, c.data = from, append([]string(nil), to...), append([]byte(nil), data...)
+	return nil
+}
+
+// startServer launches a server on a random localhost port.
+func startServer(t *testing.T, s *Server) (addr string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	return l.Addr().String()
+}
+
+func TestDeliveryViaStdlibClient(t *testing.T) {
+	// Interop check: Go's own net/smtp client must be able to deliver.
+	var c capture
+	s := &Server{Hostname: "diy.example.com", Handler: c.handler}
+	addr := startServer(t, s)
+
+	msg := []byte("Subject: test\r\n\r\nHello from the stdlib client.\r\n")
+	err := netsmtp.SendMail(addr, nil, "bob@remote.net",
+		[]string{"alice@example.com", "carol@example.com"}, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.from != "bob@remote.net" {
+		t.Fatalf("from = %q", c.from)
+	}
+	if len(c.to) != 2 || c.to[0] != "alice@example.com" {
+		t.Fatalf("to = %v", c.to)
+	}
+	if !strings.Contains(string(c.data), "Hello from the stdlib client.") {
+		t.Fatalf("data = %q", c.data)
+	}
+}
+
+// dialScript runs a raw SMTP dialogue, returning each reply line.
+type scriptConn struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialScript(t *testing.T, addr string) *scriptConn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &scriptConn{t: t, conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (sc *scriptConn) expect(prefix string) string {
+	sc.t.Helper()
+	for {
+		line, err := sc.r.ReadString('\n')
+		if err != nil {
+			sc.t.Fatalf("reading reply: %v", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		// Skip EHLO continuation lines like "250-SIZE".
+		if len(line) >= 4 && line[3] == '-' {
+			continue
+		}
+		if !strings.HasPrefix(line, prefix) {
+			sc.t.Fatalf("reply %q, want prefix %q", line, prefix)
+		}
+		return line
+	}
+}
+
+func (sc *scriptConn) send(line string) {
+	sc.t.Helper()
+	if _, err := fmt.Fprintf(sc.conn, "%s\r\n", line); err != nil {
+		sc.t.Fatal(err)
+	}
+}
+
+func TestCommandSequencing(t *testing.T) {
+	var c capture
+	addr := startServer(t, &Server{Handler: c.handler})
+	sc := dialScript(t, addr)
+	sc.expect("220")
+
+	// MAIL before HELO is rejected.
+	sc.send("MAIL FROM:<a@b.c>")
+	sc.expect("503")
+	sc.send("HELO client.example")
+	sc.expect("250")
+	// RCPT before MAIL is rejected.
+	sc.send("RCPT TO:<x@y.z>")
+	sc.expect("503")
+	// DATA before RCPT is rejected.
+	sc.send("MAIL FROM:<a@b.c>")
+	sc.expect("250")
+	sc.send("DATA")
+	sc.expect("503")
+	sc.send("QUIT")
+	sc.expect("221")
+}
+
+func TestDotStuffing(t *testing.T) {
+	var c capture
+	addr := startServer(t, &Server{Handler: c.handler})
+	sc := dialScript(t, addr)
+	sc.expect("220")
+	sc.send("EHLO x")
+	sc.expect("250")
+	sc.send("MAIL FROM:<a@b.c>")
+	sc.expect("250")
+	sc.send("RCPT TO:<x@y.z>")
+	sc.expect("250")
+	sc.send("DATA")
+	sc.expect("354")
+	sc.send("..a line starting with a dot")
+	sc.send("normal line")
+	sc.send(".")
+	sc.expect("250")
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !strings.HasPrefix(string(c.data), ".a line starting with a dot\r\n") {
+		t.Fatalf("dot not unstuffed: %q", c.data)
+	}
+}
+
+func TestRSETClearsTransaction(t *testing.T) {
+	var c capture
+	addr := startServer(t, &Server{Handler: c.handler})
+	sc := dialScript(t, addr)
+	sc.expect("220")
+	sc.send("HELO x")
+	sc.expect("250")
+	sc.send("MAIL FROM:<a@b.c>")
+	sc.expect("250")
+	sc.send("RSET")
+	sc.expect("250")
+	// After RSET the transaction must restart from MAIL.
+	sc.send("RCPT TO:<x@y.z>")
+	sc.expect("503")
+}
+
+func TestBadAddressSyntax(t *testing.T) {
+	var c capture
+	addr := startServer(t, &Server{Handler: c.handler})
+	sc := dialScript(t, addr)
+	sc.expect("220")
+	sc.send("HELO x")
+	sc.expect("250")
+	sc.send("MAIL FROM:a@b.c") // missing <>
+	sc.expect("501")
+	sc.send("MAIL FROM:<no-at-sign>")
+	sc.expect("501")
+	// Null reverse path (bounces) is legal.
+	sc.send("MAIL FROM:<>")
+	sc.expect("250")
+}
+
+func TestUnknownCommand(t *testing.T) {
+	var c capture
+	addr := startServer(t, &Server{Handler: c.handler})
+	sc := dialScript(t, addr)
+	sc.expect("220")
+	sc.send("EXPN list")
+	sc.expect("502")
+	sc.send("NOOP")
+	sc.expect("250")
+	sc.send("VRFY someone")
+	sc.expect("252")
+}
+
+func TestHandlerErrorGivesTransientFailure(t *testing.T) {
+	s := &Server{Handler: func(from string, to []string, data []byte) error {
+		return fmt.Errorf("disk full")
+	}}
+	addr := startServer(t, s)
+	sc := dialScript(t, addr)
+	sc.expect("220")
+	sc.send("HELO x")
+	sc.expect("250")
+	sc.send("MAIL FROM:<a@b.c>")
+	sc.expect("250")
+	sc.send("RCPT TO:<x@y.z>")
+	sc.expect("250")
+	sc.send("DATA")
+	sc.expect("354")
+	sc.send("body")
+	sc.send(".")
+	sc.expect("451")
+}
+
+func TestSizeLimit(t *testing.T) {
+	var c capture
+	addr := startServer(t, &Server{Handler: c.handler, MaxMessageBytes: 64})
+	sc := dialScript(t, addr)
+	sc.expect("220")
+	sc.send("HELO x")
+	sc.expect("250")
+	sc.send("MAIL FROM:<a@b.c>")
+	sc.expect("250")
+	sc.send("RCPT TO:<x@y.z>")
+	sc.expect("250")
+	sc.send("DATA")
+	sc.expect("354")
+	sc.send(strings.Repeat("A", 200))
+	sc.send(".")
+	sc.expect("552")
+}
+
+func TestServeRequiresHandler(t *testing.T) {
+	s := &Server{}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := s.Serve(l); err == nil {
+		t.Fatal("Serve without handler succeeded")
+	}
+}
+
+func TestCloseStopsServer(t *testing.T) {
+	var c capture
+	s := &Server{Handler: c.handler}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != ErrServerClosed {
+			t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestParsePath(t *testing.T) {
+	tests := []struct {
+		arg, keyword, want string
+		ok                 bool
+	}{
+		{"FROM:<a@b.c>", "FROM", "a@b.c", true},
+		{"from:<a@b.c>", "FROM", "a@b.c", true},
+		{"FROM:<>", "FROM", "", true},
+		{"FROM:<a@b.c> SIZE=100", "FROM", "a@b.c", true},
+		{"TO:<x@y.z>", "TO", "x@y.z", true},
+		{"FROM:a@b.c", "FROM", "", false},
+		{"FROM:<nodomain>", "FROM", "", false},
+		{"TO:<a@b.c>", "FROM", "", false},
+	}
+	for _, tt := range tests {
+		got, err := parsePath(tt.arg, tt.keyword)
+		if tt.ok != (err == nil) {
+			t.Errorf("parsePath(%q, %q) err=%v, want ok=%v", tt.arg, tt.keyword, err, tt.ok)
+			continue
+		}
+		if tt.ok && got != tt.want {
+			t.Errorf("parsePath(%q, %q) = %q, want %q", tt.arg, tt.keyword, got, tt.want)
+		}
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	s := &Server{Handler: func(from string, to []string, data []byte) error {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return nil
+	}}
+	addr := startServer(t, s)
+	const sessions = 10
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("Subject: %d\r\n\r\nbody\r\n", n))
+			if err := netsmtp.SendMail(addr, nil, "a@b.c", []string{"x@y.z"}, msg); err != nil {
+				t.Errorf("session %d: %v", n, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if count != sessions {
+		t.Fatalf("delivered %d, want %d", count, sessions)
+	}
+}

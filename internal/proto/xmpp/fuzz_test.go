@@ -1,0 +1,43 @@
+package xmpp
+
+import "testing"
+
+// FuzzDecode checks the stanza decoder never panics and that anything
+// it accepts can be re-encoded.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(`<message from="a@b" type="chat"><body>hi</body></message>`))
+	f.Add([]byte(`<presence type="unavailable"/>`))
+	f.Add([]byte(`<iq type="set" id="1"><session/></iq>`))
+	f.Add([]byte(`<message><body>&lt;tricky&gt;</body></message>`))
+	f.Add([]byte(``))
+	f.Add([]byte(`<message`))
+	f.Add([]byte(`<weird attr="<">`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if _, err := Encode(st); err != nil {
+			t.Fatalf("decoded stanza failed to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzParseJID checks the JID parser never panics and that accepted
+// JIDs round-trip through String.
+func FuzzParseJID(f *testing.F) {
+	f.Add("alice@example.com/phone")
+	f.Add("example.com")
+	f.Add("@@//")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		j, err := ParseJID(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseJID(j.String())
+		if err != nil || again != j {
+			t.Fatalf("accepted JID %q did not round-trip: %v", s, err)
+		}
+	})
+}

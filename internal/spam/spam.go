@@ -1,0 +1,232 @@
+// Package spam implements the SpamAssassin-style detector the paper
+// lists as an email-service feature ("DIY could also support features
+// like spam detection using widely used open source detectors such as
+// SpamAssassin"). Like SpamAssassin it combines static heuristic rules,
+// each contributing a score, with a trainable naive-Bayes text
+// classifier; a message whose total crosses the threshold is spam.
+package spam
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+)
+
+// DefaultThreshold is the score at which a message is classified as
+// spam (SpamAssassin's long-standing default is 5.0).
+const DefaultThreshold = 5.0
+
+// Message is the parsed mail a filter scores.
+type Message struct {
+	From    string
+	Subject string
+	Body    string
+}
+
+// Rule is one heuristic check contributing Score when it matches.
+type Rule struct {
+	Name  string
+	Score float64
+	Match func(m *Message) bool
+}
+
+var (
+	moneyRE   = regexp.MustCompile(`[$£€]\s?\d[\d,]*(\.\d+)?|(?i)\b(million|billion)\s+dollars?\b`)
+	urlRE     = regexp.MustCompile(`(?i)\bhttps?://[^\s]+`)
+	exclaimRE = regexp.MustCompile(`!{3,}`)
+)
+
+// DefaultRules returns the built-in heuristic rule set.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			Name: "SUBJECT_ALL_CAPS", Score: 1.5,
+			Match: func(m *Message) bool {
+				letters := 0
+				upper := 0
+				for _, r := range m.Subject {
+					if r >= 'a' && r <= 'z' {
+						letters++
+					}
+					if r >= 'A' && r <= 'Z' {
+						letters++
+						upper++
+					}
+				}
+				return letters >= 6 && upper == letters
+			},
+		},
+		{
+			Name: "FREE_OFFER", Score: 1.8,
+			Match: func(m *Message) bool {
+				t := strings.ToLower(m.Subject + " " + m.Body)
+				return strings.Contains(t, "free ") &&
+					(strings.Contains(t, "offer") || strings.Contains(t, "click") ||
+						strings.Contains(t, "winner") || strings.Contains(t, "prize"))
+			},
+		},
+		{
+			Name: "MONEY_AMOUNTS", Score: 1.2,
+			Match: func(m *Message) bool {
+				return len(moneyRE.FindAllString(m.Subject+" "+m.Body, 3)) >= 2
+			},
+		},
+		{
+			Name: "EXCESSIVE_EXCLAMATION", Score: 1.0,
+			Match: func(m *Message) bool {
+				return exclaimRE.MatchString(m.Subject + " " + m.Body)
+			},
+		},
+		{
+			Name: "URGENT_ACTION", Score: 1.3,
+			Match: func(m *Message) bool {
+				t := strings.ToLower(m.Subject + " " + m.Body)
+				for _, kw := range []string{"act now", "urgent", "limited time", "verify your account", "suspended"} {
+					if strings.Contains(t, kw) {
+						return true
+					}
+				}
+				return false
+			},
+		},
+		{
+			Name: "MANY_LINKS", Score: 1.0,
+			Match: func(m *Message) bool {
+				return len(urlRE.FindAllString(m.Body, 6)) >= 5
+			},
+		},
+		{
+			Name: "LOTTERY_SCAM", Score: 2.5,
+			Match: func(m *Message) bool {
+				t := strings.ToLower(m.Subject + " " + m.Body)
+				return strings.Contains(t, "lottery") || strings.Contains(t, "inheritance") ||
+					strings.Contains(t, "nigerian prince") || strings.Contains(t, "wire transfer")
+			},
+		},
+		{
+			Name: "SUSPICIOUS_SENDER", Score: 0.8,
+			Match: func(m *Message) bool {
+				from := strings.ToLower(m.From)
+				digits := 0
+				for _, r := range from {
+					if r >= '0' && r <= '9' {
+						digits++
+					}
+				}
+				return digits >= 6
+			},
+		},
+	}
+}
+
+// Filter scores messages. It is safe for concurrent use.
+type Filter struct {
+	Threshold float64
+	rules     []Rule
+
+	mu        sync.RWMutex
+	spamWords map[string]int
+	hamWords  map[string]int
+	spamMsgs  int
+	hamMsgs   int
+}
+
+// NewFilter returns a filter with the default rules and threshold and
+// an untrained Bayes classifier.
+func NewFilter() *Filter {
+	return &Filter{
+		Threshold: DefaultThreshold,
+		rules:     DefaultRules(),
+		spamWords: make(map[string]int),
+		hamWords:  make(map[string]int),
+	}
+}
+
+// Train feeds a labelled message to the Bayes classifier.
+func (f *Filter) Train(m *Message, isSpam bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	words := tokenize(m.Subject + " " + m.Body)
+	if isSpam {
+		f.spamMsgs++
+		for _, w := range words {
+			f.spamWords[w]++
+		}
+	} else {
+		f.hamMsgs++
+		for _, w := range words {
+			f.hamWords[w]++
+		}
+	}
+}
+
+// Score returns the message's total score and the names of the matched
+// rules. The Bayes contribution appears as the pseudo-rule "BAYES"
+// when the classifier leans spam.
+func (f *Filter) Score(m *Message) (float64, []string) {
+	var total float64
+	var matched []string
+	for _, r := range f.rules {
+		if r.Match(m) {
+			total += r.Score
+			matched = append(matched, r.Name)
+		}
+	}
+	if b := f.bayes(m); b > 0 {
+		total += b
+		matched = append(matched, "BAYES")
+	}
+	return total, matched
+}
+
+// IsSpam reports whether the message's score crosses the threshold.
+func (f *Filter) IsSpam(m *Message) bool {
+	score, _ := f.Score(m)
+	return score >= f.Threshold
+}
+
+// bayes returns a score in [0, 3] proportional to how strongly the
+// trained classifier believes the message is spam; 0 when untrained or
+// leaning ham.
+func (f *Filter) bayes(m *Message) float64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.spamMsgs == 0 || f.hamMsgs == 0 {
+		return 0
+	}
+	// Log-odds with Laplace smoothing.
+	logOdds := math.Log(float64(f.spamMsgs)) - math.Log(float64(f.hamMsgs))
+	spamTotal := 0
+	for _, c := range f.spamWords {
+		spamTotal += c
+	}
+	hamTotal := 0
+	for _, c := range f.hamWords {
+		hamTotal += c
+	}
+	vocab := float64(len(f.spamWords) + len(f.hamWords) + 1)
+	for _, w := range tokenize(m.Subject + " " + m.Body) {
+		pSpam := (float64(f.spamWords[w]) + 1) / (float64(spamTotal) + vocab)
+		pHam := (float64(f.hamWords[w]) + 1) / (float64(hamTotal) + vocab)
+		logOdds += math.Log(pSpam) - math.Log(pHam)
+	}
+	if logOdds <= 0 {
+		return 0
+	}
+	// Squash: strong belief saturates at 3 points.
+	return 3 * (1 - math.Exp(-logOdds/8))
+}
+
+func tokenize(text string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9')
+	})
+	out := fields[:0]
+	for _, f := range fields {
+		if len(f) >= 2 && len(f) <= 24 {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package spam
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func ham() *Message {
+	return &Message{
+		From:    "matei@cs.stanford.edu",
+		Subject: "HotNets camera ready",
+		Body:    "Hi Shoumik, the camera-ready deadline is next Friday. Can you update the cost table? Thanks.",
+	}
+}
+
+func obviousSpam() *Message {
+	return &Message{
+		From:    "winner8374920@lottery-intl.biz",
+		Subject: "CONGRATULATIONS WINNER",
+		Body: "You have won the international lottery!!! Claim your FREE prize of $1,000,000 now. " +
+			"Act now, limited time offer. Wire transfer of $500,000 dollars awaits. Click here!!!",
+	}
+}
+
+func TestHamScoresLow(t *testing.T) {
+	f := NewFilter()
+	score, rules := f.Score(ham())
+	if score >= DefaultThreshold {
+		t.Fatalf("ham scored %.1f (rules %v)", score, rules)
+	}
+	if f.IsSpam(ham()) {
+		t.Fatal("ham classified as spam")
+	}
+}
+
+func TestObviousSpamScoresHigh(t *testing.T) {
+	f := NewFilter()
+	score, rules := f.Score(obviousSpam())
+	if score < DefaultThreshold {
+		t.Fatalf("spam scored only %.1f (rules %v)", score, rules)
+	}
+	if !f.IsSpam(obviousSpam()) {
+		t.Fatal("obvious spam not classified")
+	}
+	if len(rules) < 3 {
+		t.Fatalf("expected several rules to fire, got %v", rules)
+	}
+}
+
+func TestIndividualRules(t *testing.T) {
+	tests := []struct {
+		rule string
+		msg  *Message
+	}{
+		{"SUBJECT_ALL_CAPS", &Message{Subject: "BUY THIS NOW PLEASE"}},
+		{"FREE_OFFER", &Message{Body: "get your free offer today"}},
+		{"MONEY_AMOUNTS", &Message{Body: "send $500 and receive $10,000"}},
+		{"EXCESSIVE_EXCLAMATION", &Message{Subject: "hello!!!"}},
+		{"URGENT_ACTION", &Message{Body: "your account will be suspended"}},
+		{"MANY_LINKS", &Message{Body: "http://a.b http://c.d http://e.f http://g.h http://i.j"}},
+		{"LOTTERY_SCAM", &Message{Body: "claim your inheritance"}},
+		{"SUSPICIOUS_SENDER", &Message{From: "user1234567@x.com"}},
+	}
+	f := NewFilter()
+	for _, tt := range tests {
+		_, matched := f.Score(tt.msg)
+		found := false
+		for _, m := range matched {
+			if m == tt.rule {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("rule %s did not fire on %+v (matched %v)", tt.rule, tt.msg, matched)
+		}
+	}
+}
+
+func TestRulesDoNotFireOnHam(t *testing.T) {
+	f := NewFilter()
+	_, matched := f.Score(ham())
+	if len(matched) != 0 {
+		t.Fatalf("rules fired on ham: %v", matched)
+	}
+}
+
+func TestBayesUntrainedIsNeutral(t *testing.T) {
+	f := NewFilter()
+	if b := f.bayes(obviousSpam()); b != 0 {
+		t.Fatalf("untrained bayes = %v, want 0", b)
+	}
+}
+
+func TestBayesLearnsCorpus(t *testing.T) {
+	f := NewFilter()
+	// Train on a small synthetic corpus.
+	for i := 0; i < 20; i++ {
+		f.Train(&Message{Subject: "meeting notes", Body: fmt.Sprintf("agenda item %d for the systems reading group", i)}, false)
+		f.Train(&Message{Subject: "cheap pills", Body: fmt.Sprintf("discount pharmacy viagra casino bonus round %d", i)}, true)
+	}
+	spammy := &Message{Subject: "pharmacy discount", Body: "casino bonus viagra"}
+	hammy := &Message{Subject: "reading group", Body: "agenda for the systems meeting"}
+	if b := f.bayes(spammy); b <= 0 {
+		t.Fatalf("bayes on spammy text = %v, want > 0", b)
+	}
+	if b := f.bayes(hammy); b != 0 {
+		t.Fatalf("bayes on hammy text = %v, want 0", b)
+	}
+	// And the pseudo-rule surfaces in Score.
+	_, matched := f.Score(spammy)
+	hasBayes := false
+	for _, m := range matched {
+		if m == "BAYES" {
+			hasBayes = true
+		}
+	}
+	if !hasBayes {
+		t.Fatalf("BAYES pseudo-rule missing: %v", matched)
+	}
+}
+
+func TestBayesScoreBounded(t *testing.T) {
+	f := NewFilter()
+	for i := 0; i < 50; i++ {
+		f.Train(&Message{Body: "casino casino casino"}, true)
+		f.Train(&Message{Body: "meeting meeting meeting"}, false)
+	}
+	b := f.bayes(&Message{Body: "casino casino casino casino casino"})
+	if b <= 0 || b > 3 {
+		t.Fatalf("bayes = %v, want in (0, 3]", b)
+	}
+}
+
+func TestCustomThreshold(t *testing.T) {
+	f := NewFilter()
+	f.Threshold = 0.5
+	if !f.IsSpam(&Message{Subject: "hello!!!"}) {
+		t.Fatal("low threshold not honored")
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := tokenize("Hello, WORLD! x a1-b2 this_is_long_but_fine " +
+		"superduperextremelylongwordthatgetsdropped")
+	want := map[string]bool{"hello": true, "world": true, "a1": true, "b2": true,
+		"this": true, "is": true, "long": true, "but": true, "fine": true}
+	if len(got) != len(want) {
+		t.Fatalf("tokenize = %v", got)
+	}
+	for _, w := range got {
+		if !want[w] {
+			t.Fatalf("unexpected token %q in %v", w, got)
+		}
+	}
+}
+
+func TestConcurrentTrainAndScore(t *testing.T) {
+	f := NewFilter()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				f.Train(obviousSpam(), true)
+				f.Train(ham(), false)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				f.Score(obviousSpam())
+				f.IsSpam(ham())
+			}
+		}()
+	}
+	wg.Wait()
+}

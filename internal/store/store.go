@@ -1,0 +1,244 @@
+// Package store implements the "DIY app store" the paper proposes
+// (§8.1): a marketplace where "users may be able to install DIY
+// applications with one click", applications "can be audited for
+// security", users "can then update or delete applications (and any
+// corresponding data) at any time", and the platform "report[s] their
+// total resource consumption in a centralized UI".
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pricing"
+)
+
+// Errors returned by the store.
+var (
+	ErrNotInCatalog = errors.New("store: app not in catalog")
+	ErrNotInstalled = errors.New("store: app not installed for user")
+	ErrAlreadyHave  = errors.New("store: app already installed for user")
+	ErrUnaudited    = errors.New("store: app failed security review; enable AllowUnaudited to install anyway")
+	ErrStaleVersion = errors.New("store: manifest version must increase")
+)
+
+// Manifest describes one published app version.
+type Manifest struct {
+	Name        string
+	Version     int
+	Publisher   string
+	Description string
+	// Audited reports whether the marketplace's security review (the
+	// analog of iOS app review) passed.
+	Audited bool
+	// Permissions is the human-readable resource list shown to the
+	// user before installation.
+	Permissions []string
+	// App is the installable implementation.
+	App core.App
+}
+
+// Store is a DIY app marketplace bound to one cloud. It is safe for
+// concurrent use.
+type Store struct {
+	cloud *Cloudish
+
+	// AllowUnaudited permits installing apps that failed review.
+	AllowUnaudited bool
+
+	mu       sync.Mutex
+	catalog  map[string]*Manifest
+	installs map[string]*core.Deployment // "user/app"
+}
+
+// Cloudish is the provider the store deploys to (a thin alias so tests
+// can build one store per cloud).
+type Cloudish = core.Cloud
+
+// New returns an empty store for the cloud.
+func New(cloud *Cloudish) *Store {
+	return &Store{
+		cloud:    cloud,
+		catalog:  make(map[string]*Manifest),
+		installs: make(map[string]*core.Deployment),
+	}
+}
+
+// Publish adds an app version to the catalog. Re-publishing requires a
+// strictly increasing version.
+func (s *Store) Publish(m Manifest) error {
+	if m.Name == "" || m.App == nil {
+		return errors.New("store: manifest needs a name and an app")
+	}
+	if m.Name != m.App.Name() {
+		return fmt.Errorf("store: manifest name %q does not match app %q", m.Name, m.App.Name())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.catalog[m.Name]; ok && m.Version <= prev.Version {
+		return fmt.Errorf("store: %s v%d after v%d: %w", m.Name, m.Version, prev.Version, ErrStaleVersion)
+	}
+	cp := m
+	s.catalog[m.Name] = &cp
+	return nil
+}
+
+// Catalog lists published manifests sorted by name.
+func (s *Store) Catalog() []Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Manifest, 0, len(s.catalog))
+	for _, m := range s.catalog {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Install performs the one-click installation: it provisions the app's
+// function, key, bucket, queues and policies for the user.
+func (s *Store) Install(user, appName string) (*core.Deployment, error) {
+	s.mu.Lock()
+	m, ok := s.catalog[appName]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("store: %q: %w", appName, ErrNotInCatalog)
+	}
+	if _, dup := s.installs[user+"/"+appName]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("store: %s for %s: %w", appName, user, ErrAlreadyHave)
+	}
+	audited := m.Audited
+	app := m.App
+	allow := s.AllowUnaudited
+	s.mu.Unlock()
+
+	if !audited && !allow {
+		return nil, fmt.Errorf("store: %q: %w", appName, ErrUnaudited)
+	}
+	d, err := core.Install(s.cloud, user, app)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.installs[user+"/"+appName] = d
+	s.mu.Unlock()
+	return d, nil
+}
+
+// Installed returns a user's deployment of an app.
+func (s *Store) Installed(user, appName string) (*core.Deployment, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.installs[user+"/"+appName]
+	return d, ok
+}
+
+// Uninstall removes a user's deployment, with its data if withData.
+func (s *Store) Uninstall(user, appName string, withData bool) error {
+	s.mu.Lock()
+	d, ok := s.installs[user+"/"+appName]
+	if ok {
+		delete(s.installs, user+"/"+appName)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("store: %s for %s: %w", appName, user, ErrNotInstalled)
+	}
+	return d.Delete(withData)
+}
+
+// Upgrade moves a user's installation to the latest published version,
+// preserving data.
+func (s *Store) Upgrade(user, appName string) error {
+	s.mu.Lock()
+	m, okM := s.catalog[appName]
+	d, okD := s.installs[user+"/"+appName]
+	s.mu.Unlock()
+	if !okM {
+		return fmt.Errorf("store: %q: %w", appName, ErrNotInCatalog)
+	}
+	if !okD {
+		return fmt.Errorf("store: %s for %s: %w", appName, user, ErrNotInstalled)
+	}
+	return core.Upgrade(d, m.App)
+}
+
+// ResourceReport is the per-app consumption summary the store's UI
+// shows a user (§8.1, "similar to the storage management interfaces on
+// current smartphones").
+type ResourceReport struct {
+	App            string
+	LambdaRequests float64
+	GBSeconds      float64
+	StorageBytes   int64
+	SQSRequests    float64
+	KMSRequests    float64
+	TransferOutGB  float64
+}
+
+// CostReport prices one app's metered usage at list price (no free
+// tiers, which apply account-wide rather than per app).
+type CostReport struct {
+	App string
+	// ListPrice is the marginal monthly cost of this app's usage.
+	ListPrice pricing.Money
+}
+
+// Costs prices each installed app's usage for a user and returns the
+// account's actual bill total (with free tiers) alongside.
+func (s *Store) Costs(user string) ([]CostReport, pricing.Money) {
+	noFree := s.cloud.Book.WithoutFreeTiers()
+	meter := s.cloud.Meter
+	kinds := []pricing.Kind{
+		pricing.LambdaRequests, pricing.LambdaGBSeconds,
+		pricing.S3StorageGBMo, pricing.S3PutRequests, pricing.S3GetRequests,
+		pricing.TransferOutGB, pricing.SQSRequests, pricing.KMSRequests,
+		pricing.SESMessages, pricing.DynamoWCU, pricing.DynamoRCU,
+	}
+	var out []CostReport
+	for _, r := range s.Report(user) {
+		appMeter := pricing.NewMeter()
+		for _, k := range kinds {
+			appMeter.Add(pricing.Usage{Kind: k, Quantity: meter.TotalFor(k, r.App)})
+		}
+		out = append(out, CostReport{
+			App:       r.App,
+			ListPrice: pricing.Compute(noFree, appMeter).Total(),
+		})
+	}
+	return out, pricing.Compute(s.cloud.Book, meter).Total()
+}
+
+// Report aggregates the cloud meter per installed app for a user.
+func (s *Store) Report(user string) []ResourceReport {
+	s.mu.Lock()
+	var deployments []*core.Deployment
+	for key, d := range s.installs {
+		if strings.HasPrefix(key, user+"/") {
+			deployments = append(deployments, d)
+		}
+	}
+	s.mu.Unlock()
+
+	meter := s.cloud.Meter
+	out := make([]ResourceReport, 0, len(deployments))
+	for _, d := range deployments {
+		app := d.AppName
+		out = append(out, ResourceReport{
+			App:            app,
+			LambdaRequests: meter.TotalFor(pricing.LambdaRequests, app),
+			GBSeconds:      meter.TotalFor(pricing.LambdaGBSeconds, app),
+			StorageBytes:   s.cloud.S3.StorageBytes(d.Bucket),
+			SQSRequests:    meter.TotalFor(pricing.SQSRequests, app),
+			KMSRequests:    meter.TotalFor(pricing.KMSRequests, app),
+			TransferOutGB:  meter.TotalFor(pricing.TransferOutGB, app),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return out
+}

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cloudsim/lambda"
+	"repro/internal/core"
+)
+
+// versionedApp lets tests publish distinguishable versions.
+type versionedApp struct {
+	version string
+}
+
+func (versionedApp) Name() string { return "notes" }
+func (a versionedApp) Spec() core.AppSpec {
+	return core.AppSpec{Endpoint: "/api", Code: []byte("notes-" + a.version)}
+}
+func (a versionedApp) Handler() lambda.Handler {
+	return func(env *lambda.Env, ev lambda.Event) (lambda.Response, error) {
+		return lambda.Response{Status: 200, Body: []byte(a.version)}, nil
+	}
+}
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	cloud, err := core.NewCloud(core.CloudOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cloud)
+}
+
+func publish(t *testing.T, s *Store, version string, vnum int, audited bool) {
+	t.Helper()
+	err := s.Publish(Manifest{
+		Name:        "notes",
+		Version:     vnum,
+		Publisher:   "diy-labs",
+		Description: "encrypted notes",
+		Audited:     audited,
+		Permissions: []string{"1 storage bucket", "1 encryption key"},
+		App:         versionedApp{version: version},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	s := newStore(t)
+	if err := s.Publish(Manifest{}); err == nil {
+		t.Fatal("empty manifest accepted")
+	}
+	if err := s.Publish(Manifest{Name: "wrong", App: versionedApp{}}); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+	publish(t, s, "v1", 1, true)
+	// Same or lower version is rejected.
+	err := s.Publish(Manifest{Name: "notes", Version: 1, App: versionedApp{version: "v1b"}})
+	if !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("got %v, want ErrStaleVersion", err)
+	}
+}
+
+func TestCatalogSorted(t *testing.T) {
+	s := newStore(t)
+	publish(t, s, "v1", 1, true)
+	cat := s.Catalog()
+	if len(cat) != 1 || cat[0].Name != "notes" || cat[0].Publisher != "diy-labs" {
+		t.Fatalf("catalog = %+v", cat)
+	}
+}
+
+func TestOneClickInstall(t *testing.T) {
+	s := newStore(t)
+	publish(t, s, "v1", 1, true)
+	d, err := s.Install("alice", "notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := d.Invoke(d.ClientContext(), "ping", nil)
+	if err != nil || string(resp.Body) != "v1" {
+		t.Fatalf("invoke: %v %q", err, resp.Body)
+	}
+	if _, ok := s.Installed("alice", "notes"); !ok {
+		t.Fatal("install not recorded")
+	}
+	// Double install is rejected.
+	if _, err := s.Install("alice", "notes"); !errors.Is(err, ErrAlreadyHave) {
+		t.Fatalf("got %v, want ErrAlreadyHave", err)
+	}
+	// A second user installs independently.
+	if _, err := s.Install("bob", "notes"); err != nil {
+		t.Fatalf("second user install: %v", err)
+	}
+}
+
+func TestInstallUnknownApp(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.Install("alice", "ghost"); !errors.Is(err, ErrNotInCatalog) {
+		t.Fatalf("got %v, want ErrNotInCatalog", err)
+	}
+}
+
+func TestUnauditedGate(t *testing.T) {
+	s := newStore(t)
+	publish(t, s, "v1", 1, false)
+	if _, err := s.Install("alice", "notes"); !errors.Is(err, ErrUnaudited) {
+		t.Fatalf("got %v, want ErrUnaudited", err)
+	}
+	s.AllowUnaudited = true
+	if _, err := s.Install("alice", "notes"); err != nil {
+		t.Fatalf("opt-in install failed: %v", err)
+	}
+}
+
+func TestUpgradePreservesDeployment(t *testing.T) {
+	s := newStore(t)
+	publish(t, s, "v1", 1, true)
+	d, err := s.Install("alice", "notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	publish(t, s, "v2", 2, true)
+	if err := s.Upgrade("alice", "notes"); err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := d.Invoke(d.ClientContext(), "ping", nil)
+	if err != nil || string(resp.Body) != "v2" {
+		t.Fatalf("post-upgrade invoke: %v %q", err, resp.Body)
+	}
+	// Resources survived.
+	if !s.cloud.S3.BucketExists(d.Bucket) || !s.cloud.KMS.KeyExists(d.KeyID) {
+		t.Fatal("upgrade destroyed data resources")
+	}
+	// Upgrading an uninstalled app fails.
+	if err := s.Upgrade("carol", "notes"); !errors.Is(err, ErrNotInstalled) {
+		t.Fatalf("got %v, want ErrNotInstalled", err)
+	}
+}
+
+func TestUninstallWithData(t *testing.T) {
+	s := newStore(t)
+	publish(t, s, "v1", 1, true)
+	d, err := s.Install("alice", "notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Uninstall("alice", "notes", true); err != nil {
+		t.Fatal(err)
+	}
+	if s.cloud.S3.BucketExists(d.Bucket) || s.cloud.KMS.KeyExists(d.KeyID) {
+		t.Fatal("uninstall left data behind")
+	}
+	if err := s.Uninstall("alice", "notes", true); !errors.Is(err, ErrNotInstalled) {
+		t.Fatalf("double uninstall: %v", err)
+	}
+	// And the slot is free for reinstallation.
+	if _, err := s.Install("alice", "notes"); err != nil {
+		t.Fatalf("reinstall after uninstall: %v", err)
+	}
+}
+
+func TestResourceReport(t *testing.T) {
+	s := newStore(t)
+	publish(t, s, "v1", 1, true)
+	d, err := s.Install("alice", "notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		d.Invoke(d.ClientContext(), "ping", nil)
+	}
+	reports := s.Report("alice")
+	if len(reports) != 1 {
+		t.Fatalf("reports = %+v", reports)
+	}
+	r := reports[0]
+	if r.App != "notes" || r.LambdaRequests != 3 || r.GBSeconds <= 0 {
+		t.Fatalf("report = %+v", r)
+	}
+	if got := s.Report("nobody"); len(got) != 0 {
+		t.Fatalf("report for unknown user = %+v", got)
+	}
+}
+
+func TestCosts(t *testing.T) {
+	s := newStore(t)
+	publish(t, s, "v1", 1, true)
+	d, err := s.Install("alice", "notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		d.Invoke(d.ClientContext(), "ping", nil)
+	}
+	costs, accountTotal := s.Costs("alice")
+	if len(costs) != 1 || costs[0].App != "notes" {
+		t.Fatalf("costs = %+v", costs)
+	}
+	// List price of 10 invocations is tiny but strictly positive...
+	if costs[0].ListPrice <= 0 {
+		t.Fatalf("list price = %v, want > 0", costs[0].ListPrice)
+	}
+	// ...while the account bill stays at $0.00 inside the free tiers.
+	if accountTotal != 0 {
+		t.Fatalf("account total = %v, want $0.00", accountTotal)
+	}
+}
