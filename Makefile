@@ -1,0 +1,23 @@
+# Developer entry points. `make check` is the pre-commit gate.
+
+GO ?= go
+
+.PHONY: build test check vet race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx .

@@ -5,6 +5,7 @@
 //
 //	diyctl demo      # full scenario: install, chat, mail, bill, migrate
 //	diyctl store     # app-store walkthrough: publish, install, report
+//	diyctl trace     # flame-style trace of one chat send, with dollars
 //	diyctl tcb       # print the trusted-computing-base comparison
 //	diyctl bill      # price the paper's Table 2 workloads
 package main
@@ -43,6 +44,8 @@ func main() {
 		err = attestDemo()
 	case "stream":
 		err = streamDemo()
+	case "trace":
+		err = traceDemo()
 	case "bill":
 		fmt.Println(experiments.RenderTable2(experiments.RunTable2()))
 	default:
@@ -55,7 +58,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: diyctl <demo|store|attest|stream|tcb|bill>")
+	fmt.Fprintln(os.Stderr, "usage: diyctl <demo|store|attest|stream|trace|tcb|bill>")
 }
 
 // demo runs the end-to-end scenario: deploy chat and email for a user,

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	diy "repro"
+	"repro/internal/pricing"
+)
+
+// traceDemo sends two traced chat messages — one against a cold
+// container, one warm — and prints each as a flame-style span tree
+// with per-hop latency and list-price cost, then cross-checks the
+// trace's cost ledger against the pricing meter.
+func traceDemo() error {
+	fmt.Println("== distributed request tracing and cost attribution ==")
+	cloud, err := diy.NewCloud(diy.CloudOptions{Name: "trace-demo"})
+	if err != nil {
+		return err
+	}
+	room, err := diy.InstallChat(cloud, "casey", "casey", "dana")
+	if err != nil {
+		return err
+	}
+	casey := diy.NewChatClient(room, "casey", "laptop")
+	dana := diy.NewChatClient(room, "dana", "phone")
+	if _, err := casey.Session(); err != nil {
+		return err
+	}
+	if _, err := dana.Session(); err != nil {
+		return err
+	}
+
+	// Idle past the warm-pool TTL so the next invocation provisions a
+	// fresh container: the trace shows where the cold start hides.
+	cloud.Clock.Advance(10 * time.Minute)
+	before := cloud.Meter.Snapshot()
+	fmt.Println("\n-- first message after 10 idle minutes (cold container):")
+	tr, _, err := casey.SendTraced("good morning — this send pays the cold start")
+	if err != nil {
+		return err
+	}
+	fmt.Print(indent(tr.Render(cloud.Book)))
+
+	// The trace's ledger and the billing meter saw the same usage.
+	diff := meterDiff(before, cloud.Meter.Snapshot())
+	var metered pricing.Money
+	for _, u := range diff {
+		metered += cloud.Book.ListPrice(u)
+	}
+	fmt.Printf("\n   trace cost %s == metered cost %s for the same flow\n",
+		fmtMoney(tr.Cost(cloud.Book)), fmtMoney(metered))
+
+	fmt.Println("\n-- second message 30 seconds later (warm container):")
+	cloud.Clock.Advance(30 * time.Second)
+	tr2, _, err := casey.SendTraced("and this one rides a warm container")
+	if err != nil {
+		return err
+	}
+	fmt.Print(indent(tr2.Render(cloud.Book)))
+	fmt.Printf("\n   cold send: %v and %s; warm send: %v and %s\n",
+		tr.Duration().Round(time.Millisecond), fmtMoney(tr.Cost(cloud.Book)),
+		tr2.Duration().Round(time.Millisecond), fmtMoney(tr2.Cost(cloud.Book)))
+	fmt.Printf("   recorder holds %d trace(s); latest: %q\n",
+		cloud.Tracer.Len(), cloud.Tracer.Last().Name())
+	return nil
+}
+
+// meterDiff subtracts an earlier meter snapshot from a later one,
+// returning the usage metered in between.
+func meterDiff(before, after []pricing.Usage) []pricing.Usage {
+	type key struct {
+		kind     pricing.Kind
+		resource string
+		app      string
+	}
+	prev := make(map[key]float64, len(before))
+	for _, u := range before {
+		prev[key{u.Kind, u.Resource, u.App}] += u.Quantity
+	}
+	var out []pricing.Usage
+	for _, u := range after {
+		if d := u.Quantity - prev[key{u.Kind, u.Resource, u.App}]; d > 1e-12 {
+			out = append(out, pricing.Usage{Kind: u.Kind, Quantity: d, Resource: u.Resource, App: u.App})
+		}
+	}
+	return out
+}
+
+func fmtMoney(m pricing.Money) string { return fmt.Sprintf("$%.8f", m.Dollars()) }

@@ -51,6 +51,10 @@ func main() {
 		t3, err := experiments.RunTable3(experiments.Table3Config{Sends: *sends, Seed: *seed})
 		check(err)
 		fmt.Println(t3.Render())
+
+		tr3, err := experiments.RunTrace3(*sends, *seed)
+		check(err)
+		fmt.Println(tr3.Render())
 	}
 	if all || *figure == 1 {
 		tr, err := experiments.RunFigure1()

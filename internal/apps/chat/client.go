@@ -9,6 +9,7 @@ import (
 	"repro/internal/cloudsim/lambda"
 	"repro/internal/cloudsim/netsim"
 	"repro/internal/cloudsim/sim"
+	"repro/internal/cloudsim/trace"
 	"repro/internal/core"
 	"repro/internal/crypto/envelope"
 	"repro/internal/proto/xmpp"
@@ -141,6 +142,38 @@ func (c *Client) SendTimed(body string) (stats lambda.InvocationStats, sentAt ti
 		return stats, time.Time{}, fmt.Errorf("chat: send refused: %s", resp.Body)
 	}
 	return stats, ctx.Cursor.Now(), nil
+}
+
+// SendTraced is Send with a distributed trace attached: the returned
+// trace holds one span per service hop of the message's journey —
+// gateway, function (with cold-start and billing-quantum sub-spans),
+// KMS, S3 and the per-member SQS fan-out — each carrying the usage it
+// was metered for, so the whole send can be rendered as a flame tree
+// with per-hop latency and dollars. The trace is also recorded in the
+// cloud's trace recorder.
+func (c *Client) SendTraced(body string) (*trace.Trace, lambda.InvocationStats, error) {
+	if c.dataKey == nil {
+		return nil, lambda.InvocationStats{}, ErrNotSessioned
+	}
+	c.seq++
+	m := &xmpp.Message{
+		From: c.jid.String(), To: "room@" + Domain,
+		Type: "groupchat", ID: fmt.Sprintf("%s-%d", c.member, c.seq), Body: body,
+	}
+	raw, err := xmpp.Encode(m)
+	if err != nil {
+		return nil, lambda.InvocationStats{}, err
+	}
+	ctx, tr := c.d.TracedContext("chat-send")
+	resp, stats, err := c.d.Invoke(ctx, "stanza", raw)
+	tr.Finish(ctx.Now())
+	if err != nil {
+		return tr, stats, err
+	}
+	if resp.Status != 200 {
+		return tr, stats, fmt.Errorf("chat: send refused (%d): %s", resp.Status, resp.Body)
+	}
+	return tr, stats, nil
 }
 
 // ReceiveStanzas long polls the member's inbox for up to wait,

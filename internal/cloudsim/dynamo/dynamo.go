@@ -262,8 +262,12 @@ func (s *Service) StorageBytes(tableName string) int64 {
 	return total
 }
 
-// begin applies latency, meters capacity units, and authorizes.
+// begin traces the call, applies latency, meters capacity units, and
+// authorizes.
 func (s *Service) begin(ctx *sim.Context, action, tableName string, rcu, wcu float64) error {
+	sp := ctx.StartSpan("dynamo", action)
+	defer ctx.FinishSpan(sp)
+	sp.Annotate("table", tableName)
 	if s.model != nil && ctx != nil {
 		// DynamoDB's per-call latency: a fraction of an S3 call, with
 		// the same memory coupling for function callers.
@@ -278,16 +282,24 @@ func (s *Service) begin(ctx *sim.Context, action, tableName string, rcu, wcu flo
 		app = ctx.App
 	}
 	if rcu > 0 {
-		s.meter.Add(pricing.Usage{Kind: pricing.DynamoRCU, Quantity: rcu, App: app})
+		usage := pricing.Usage{Kind: pricing.DynamoRCU, Quantity: rcu, App: app}
+		s.meter.Add(usage)
+		sp.AddUsage(usage)
 	}
 	if wcu > 0 {
-		s.meter.Add(pricing.Usage{Kind: pricing.DynamoWCU, Quantity: wcu, App: app})
+		usage := pricing.Usage{Kind: pricing.DynamoWCU, Quantity: wcu, App: app}
+		s.meter.Add(usage)
+		sp.AddUsage(usage)
 	}
 	principal := ""
 	if ctx != nil {
 		principal = ctx.Principal
 	}
-	return s.iam.Authorize(principal, action, Resource(tableName))
+	err := s.iam.Authorize(principal, action, Resource(tableName))
+	if err != nil {
+		sp.Annotate("error", "access-denied")
+	}
+	return err
 }
 
 func readUnits(bytes int) float64 {

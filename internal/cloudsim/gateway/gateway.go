@@ -142,17 +142,21 @@ func (s *Service) Throttled() int64 {
 // throttle, and the function invocation, metering the response payload
 // as internet transfer out for external callers.
 func (s *Service) Handle(ctx *sim.Context, req Request) (lambda.Response, lambda.InvocationStats, error) {
+	sp, done := ctx.PushSpan("gateway", req.Path)
+	defer done()
 	now := s.instant(ctx)
 	s.mu.Lock()
 	ep, ok := s.endpoints[req.Path]
 	if !ok {
 		s.mu.Unlock()
+		sp.Annotate("error", "no-such-endpoint")
 		return lambda.Response{}, lambda.InvocationStats{}, fmt.Errorf("gateway: %q: %w", req.Path, ErrNoSuchEndpoint)
 	}
 	if !ep.take(now) {
 		s.throttled++
 		ep.rejected++
 		s.mu.Unlock()
+		sp.Annotate("error", "throttled")
 		return lambda.Response{Status: http.StatusTooManyRequests}, lambda.InvocationStats{},
 			fmt.Errorf("gateway: %q: %w", req.Path, ErrThrottled)
 	}
@@ -187,11 +191,13 @@ func (s *Service) Handle(ctx *sim.Context, req Request) (lambda.Response, lambda
 			ctx.Advance(s.model.Sample(netsim.HopClientGateway))
 		}
 		if n := len(resp.Body); n > 0 {
-			s.meter.Add(pricing.Usage{
+			usage := pricing.Usage{
 				Kind:     pricing.TransferOutGB,
 				Quantity: float64(n) / 1e9,
 				App:      ctx.App,
-			})
+			}
+			s.meter.Add(usage)
+			sp.AddUsage(usage)
 		}
 	}
 	return resp, stats, nil

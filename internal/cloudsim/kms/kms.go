@@ -209,9 +209,12 @@ func (s *Service) Audit() []AuditEntry {
 	return append([]AuditEntry(nil), s.audit...)
 }
 
-// begin performs the per-call bookkeeping: latency, metering, IAM, and
-// audit logging.
+// begin performs the per-call bookkeeping: tracing, latency,
+// metering, IAM, and audit logging.
 func (s *Service) begin(ctx *sim.Context, action, keyID string) error {
+	sp := ctx.StartSpan("kms", action)
+	defer ctx.FinishSpan(sp)
+	sp.Annotate("key_id", keyID)
 	if s.model != nil {
 		ctx.Advance(s.model.Sample(netsim.HopKMS))
 	}
@@ -219,13 +222,18 @@ func (s *Service) begin(ctx *sim.Context, action, keyID string) error {
 	if ctx != nil {
 		app = ctx.App
 	}
-	s.meter.Add(pricing.Usage{Kind: pricing.KMSRequests, Quantity: 1, App: app})
+	usage := pricing.Usage{Kind: pricing.KMSRequests, Quantity: 1, App: app}
+	s.meter.Add(usage)
+	sp.AddUsage(usage)
 
 	principal := ""
 	if ctx != nil {
 		principal = ctx.Principal
 	}
 	err := s.iam.Authorize(principal, action, Resource(keyID))
+	if err != nil {
+		sp.Annotate("error", "access-denied")
+	}
 	s.mu.Lock()
 	s.audit = append(s.audit, AuditEntry{
 		Time:      ctx.Now(),

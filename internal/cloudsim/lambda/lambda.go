@@ -22,6 +22,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -401,10 +402,16 @@ func (p *Platform) Invoke(ctx *sim.Context, fnName string, event Event) (Respons
 	warmTTL := p.warmTTL
 	p.mu.Unlock()
 
+	// The lambda span covers dispatch plus the whole execution; it is
+	// closed at the caller's cursor once the run time has been absorbed.
+	lsp := ctx.StartSpan("lambda", fnName)
+	defer ctx.FinishSpan(lsp)
+
 	// Region selection with transparent failover: first healthy
 	// replica wins; a failed-over request pays inter-region latency.
 	region, hops, err := p.pickRegion(fn.Regions)
 	if err != nil {
+		lsp.Annotate("error", "all-regions-down")
 		return Response{}, InvocationStats{}, err
 	}
 	if ctx != nil {
@@ -421,8 +428,13 @@ func (p *Platform) Invoke(ctx *sim.Context, fnName string, event Event) (Respons
 
 	cont, cold := p.acquireContainer(st, region, start)
 	stats := InvocationStats{ColdStart: cold, Region: region}
+	lsp.Annotate("region", region)
+	lsp.Annotate("memory_mb", strconv.Itoa(fn.MemoryMB))
+	lsp.Annotate("cold_start", strconv.FormatBool(cold))
 	if cold {
+		csp := lsp.StartChild("lambda", "cold-start", invCursor.Now())
 		invCursor.Advance(p.sample(netsim.HopColdStart))
+		csp.Finish(invCursor.Now())
 	}
 
 	env := &Env{
@@ -435,6 +447,9 @@ func (p *Platform) Invoke(ctx *sim.Context, fnName string, event Event) (Respons
 			Region:        region,
 			Cursor:        invCursor,
 			FunctionMemMB: fn.MemoryMB,
+			// Downstream service hops made from inside the container
+			// nest under the invocation's span on its own timeline.
+			Span: lsp,
 		},
 	}
 
@@ -451,9 +466,26 @@ func (p *Platform) Invoke(ctx *sim.Context, fnName string, event Event) (Respons
 	stats.GBSeconds = stats.BilledTime.Seconds() * float64(fn.MemoryMB) / 1024.0
 	stats.PeakMemoryBytes = env.peakMemory
 
-	// Metering: one request plus billed GB-seconds.
-	p.meter.Add(pricing.Usage{Kind: pricing.LambdaRequests, Quantity: 1, App: fn.App})
-	p.meter.Add(pricing.Usage{Kind: pricing.LambdaGBSeconds, Quantity: stats.GBSeconds, App: fn.App})
+	lsp.Annotate("run_ms", strconv.FormatInt(run.Milliseconds(), 10))
+	lsp.Annotate("billed_ms", strconv.FormatInt(stats.BilledTime.Milliseconds(), 10))
+	if pad := stats.BilledTime - run; pad > 0 {
+		// The billing quantum's padding is virtual: nothing executes
+		// during it, but the GB-seconds charge covers it, so it gets a
+		// span of its own for honest cost attribution. It may extend
+		// past the parent's end, like X-Ray's in-progress segments.
+		qsp := lsp.StartChild("lambda", "billing-quantum", start.Add(run))
+		qsp.Annotate("padding_ms", strconv.FormatInt(pad.Milliseconds(), 10))
+		qsp.Finish(start.Add(stats.BilledTime))
+	}
+
+	// Metering: one request plus billed GB-seconds; both mirrored into
+	// the span so the trace's ledger matches the meter record-for-record.
+	reqUsage := pricing.Usage{Kind: pricing.LambdaRequests, Quantity: 1, App: fn.App}
+	gbsUsage := pricing.Usage{Kind: pricing.LambdaGBSeconds, Quantity: stats.GBSeconds, App: fn.App}
+	p.meter.Add(reqUsage)
+	p.meter.Add(gbsUsage)
+	lsp.AddUsage(reqUsage)
+	lsp.AddUsage(gbsUsage)
 
 	// The caller's timeline absorbs the whole execution.
 	if ctx != nil {

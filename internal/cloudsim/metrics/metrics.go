@@ -41,17 +41,24 @@ func (s *Service) Record(namespace, metric string, at time.Time, value float64) 
 }
 
 // window returns the samples within [from, to] (zero times mean
-// unbounded).
+// unbounded). Samples arrive in timestamp order (the lambda platform
+// publishes them as the simulated clock advances), so the from bound
+// is located by binary search; only the to bound needs a scan, and
+// that scan stops at the first sample past it.
 func (s *Service) window(namespace, metric string, from, to time.Time) []Datum {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	series := s.series[key(namespace, metric)]
+	lo := 0
+	if !from.IsZero() {
+		lo = sort.Search(len(series), func(i int) bool {
+			return !series[i].At.Before(from)
+		})
+	}
 	var out []Datum
-	for _, d := range s.series[key(namespace, metric)] {
-		if !from.IsZero() && d.At.Before(from) {
-			continue
-		}
+	for _, d := range series[lo:] {
 		if !to.IsZero() && d.At.After(to) {
-			continue
+			break
 		}
 		out = append(out, d)
 	}
@@ -74,8 +81,12 @@ func (s *Service) Sum(namespace, metric string, from, to time.Time) float64 {
 
 // Max reports the window's maximum (0 for an empty window).
 func (s *Service) Max(namespace, metric string, from, to time.Time) float64 {
-	var max float64
-	for _, d := range s.window(namespace, metric, from, to) {
+	data := s.window(namespace, metric, from, to)
+	if len(data) == 0 {
+		return 0
+	}
+	max := data[0].Value
+	for _, d := range data[1:] {
 		if d.Value > max {
 			max = d.Value
 		}
@@ -95,11 +106,16 @@ func (s *Service) Percentile(namespace, metric string, from, to time.Time, p int
 		vals[i] = d.Value
 	}
 	sort.Float64s(vals)
-	idx := len(vals) * p / 100
-	if idx >= len(vals) {
-		idx = len(vals) - 1
+	// Nearest-rank definition: the smallest value with at least p% of
+	// the samples at or below it, i.e. rank ceil(p/100 * n).
+	rank := (p*len(vals) + 99) / 100
+	if rank < 1 {
+		rank = 1
 	}
-	return vals[idx]
+	if rank > len(vals) {
+		rank = len(vals)
+	}
+	return vals[rank-1]
 }
 
 // Metrics lists the metric names recorded under a namespace, sorted.

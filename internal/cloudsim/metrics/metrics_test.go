@@ -60,6 +60,93 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// Nearest-rank percentile: rank ceil(p/100*n), so the p50 of an
+// even-sized window is the n/2-th value, not the (n/2+1)-th, and the
+// p100 is exactly the maximum.
+func TestPercentileNearestRank(t *testing.T) {
+	s := New()
+	for i, v := range []float64{10, 20, 30, 40} {
+		s.Record("ns", "m", t0.Add(time.Duration(i)*time.Minute), v)
+	}
+	cases := []struct {
+		p    int
+		want float64
+	}{
+		{0, 10},   // clamped to rank 1
+		{25, 10},  // ceil(0.25*4) = 1
+		{50, 20},  // ceil(0.5*4) = 2 — the old idx=n*p/100 formula said 30
+		{75, 30},  // ceil(0.75*4) = 3
+		{90, 40},  // ceil(0.9*4) = 4
+		{100, 40}, // rank n, the maximum
+	}
+	for _, c := range cases {
+		if got := s.Percentile("ns", "m", time.Time{}, time.Time{}, c.p); got != c.want {
+			t.Errorf("p%d = %v, want %v", c.p, got, c.want)
+		}
+	}
+	one := New()
+	one.Record("ns", "m", t0, 7)
+	if got := one.Percentile("ns", "m", time.Time{}, time.Time{}, 50); got != 7 {
+		t.Errorf("single-sample p50 = %v, want 7", got)
+	}
+}
+
+// Max must not report 0 for a window whose samples are all negative
+// (e.g. a clock-skew or error-delta gauge).
+func TestMaxAllNegative(t *testing.T) {
+	s := New()
+	for i, v := range []float64{-30, -5, -12} {
+		s.Record("ns", "m", t0.Add(time.Duration(i)*time.Minute), v)
+	}
+	if got := s.Max("ns", "m", time.Time{}, time.Time{}); got != -5 {
+		t.Fatalf("all-negative max = %v, want -5", got)
+	}
+}
+
+// The window bounds must behave identically now that the from bound is
+// binary-searched: inclusive on both ends, unbounded on zero times.
+func TestWindowBounds(t *testing.T) {
+	s := seeded()
+	// Exactly-on-boundary samples are included.
+	from, to := t0.Add(time.Minute), t0.Add(3*time.Minute)
+	if got := s.Sum("chat-fn", "run-ms", from, to); got != 130+134+140 {
+		t.Fatalf("inclusive window sum = %v", got)
+	}
+	// from after the last sample, and to before the first: empty.
+	if got := s.Count("chat-fn", "run-ms", t0.Add(time.Hour), time.Time{}); got != 0 {
+		t.Fatalf("late-from count = %d", got)
+	}
+	if got := s.Count("chat-fn", "run-ms", time.Time{}, t0.Add(-time.Minute)); got != 0 {
+		t.Fatalf("early-to count = %d", got)
+	}
+	// Half-open bounds.
+	if got := s.Count("chat-fn", "run-ms", t0.Add(4*time.Minute), time.Time{}); got != 1 {
+		t.Fatalf("from-only count = %d", got)
+	}
+	if got := s.Count("chat-fn", "run-ms", time.Time{}, t0); got != 1 {
+		t.Fatalf("to-only count = %d", got)
+	}
+}
+
+// BenchmarkWindowNarrow is the regression benchmark for the window
+// lookup: a narrow window over a long append-ordered series should
+// cost O(log n + w), not O(n).
+func BenchmarkWindowNarrow(b *testing.B) {
+	s := New()
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		s.Record("ns", "m", t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	from := t0.Add((n - 50) * time.Second)
+	to := t0.Add((n - 40) * time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Count("ns", "m", from, to); got != 11 {
+			b.Fatalf("count = %d", got)
+		}
+	}
+}
+
 func TestMetricsListing(t *testing.T) {
 	s := seeded()
 	s.Record("chat-fn", "billed-ms", t0, 200)

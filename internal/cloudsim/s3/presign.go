@@ -84,14 +84,19 @@ func (s *Service) GetPresigned(ctx *sim.Context, token string) (*Object, error) 
 	cp.Data = append([]byte(nil), o.Data...)
 	s.mu.RUnlock()
 
+	sp := ctx.StartSpan("s3", "GetPresigned")
+	defer ctx.FinishSpan(sp)
+	sp.Annotate("bytes", strconv.FormatInt(int64(len(cp.Data)), 10))
 	s.advanceLatency(ctx, int64(len(cp.Data)))
 	var app string
 	if ctx != nil {
 		app = ctx.App
 	}
-	s.meter.Add(pricing.Usage{Kind: pricing.S3GetRequests, Quantity: 1, App: app})
+	usage := pricing.Usage{Kind: pricing.S3GetRequests, Quantity: 1, App: app}
+	s.meter.Add(usage)
+	sp.AddUsage(usage)
 	if ctx != nil && ctx.External {
-		s.meterTransferOut(ctx, int64(len(cp.Data)))
+		s.meterTransferOut(ctx, sp, int64(len(cp.Data)))
 	}
 	return &cp, nil
 }

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/cloudsim/iam"
 	"repro/internal/cloudsim/netsim"
 	"repro/internal/cloudsim/sim"
+	"repro/internal/cloudsim/trace"
 	"repro/internal/crypto/envelope"
 	"repro/internal/pricing"
 )
@@ -151,7 +153,9 @@ func (s *Service) BucketExists(name string) bool {
 // with the sealed-writes policy reject payloads that are not envelope
 // ciphertext.
 func (s *Service) Put(ctx *sim.Context, bucketName, key string, data []byte) error {
-	if err := s.begin(ctx, ActionPut, ObjectResource(bucketName, key), int64(len(data)), pricing.S3PutRequests); err != nil {
+	sp, err := s.begin(ctx, ActionPut, ObjectResource(bucketName, key), int64(len(data)), pricing.S3PutRequests)
+	defer ctx.FinishSpan(sp)
+	if err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -185,7 +189,9 @@ func (s *Service) Get(ctx *sim.Context, bucketName, key string) (*Object, error)
 	}
 	s.mu.RUnlock()
 
-	if err := s.begin(ctx, ActionGet, ObjectResource(bucketName, key), size, pricing.S3GetRequests); err != nil {
+	sp, err := s.begin(ctx, ActionGet, ObjectResource(bucketName, key), size, pricing.S3GetRequests)
+	defer ctx.FinishSpan(sp)
+	if err != nil {
 		return nil, err
 	}
 	s.mu.RLock()
@@ -199,7 +205,7 @@ func (s *Service) Get(ctx *sim.Context, bucketName, key string) (*Object, error)
 		return nil, fmt.Errorf("s3: %s/%s: %w", bucketName, key, ErrNoSuchKey)
 	}
 	if ctx != nil && ctx.External {
-		s.meterTransferOut(ctx, size)
+		s.meterTransferOut(ctx, sp, size)
 	}
 	cp := *o
 	cp.Data = append([]byte(nil), o.Data...)
@@ -209,7 +215,9 @@ func (s *Service) Get(ctx *sim.Context, bucketName, key string) (*Object, error)
 // Delete removes an object. Deleting an absent key is not an error,
 // matching S3 semantics.
 func (s *Service) Delete(ctx *sim.Context, bucketName, key string) error {
-	if err := s.begin(ctx, ActionDelete, ObjectResource(bucketName, key), 0, pricing.S3PutRequests); err != nil {
+	sp, err := s.begin(ctx, ActionDelete, ObjectResource(bucketName, key), 0, pricing.S3PutRequests)
+	defer ctx.FinishSpan(sp)
+	if err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -224,7 +232,9 @@ func (s *Service) Delete(ctx *sim.Context, bucketName, key string) error {
 
 // List returns the keys in a bucket with the given prefix, sorted.
 func (s *Service) List(ctx *sim.Context, bucketName, prefix string) ([]string, error) {
-	if err := s.begin(ctx, ActionList, BucketResource(bucketName), 0, pricing.S3GetRequests); err != nil {
+	sp, err := s.begin(ctx, ActionList, BucketResource(bucketName), 0, pricing.S3GetRequests)
+	defer ctx.FinishSpan(sp)
+	if err != nil {
 		return nil, err
 	}
 	s.mu.RLock()
@@ -269,19 +279,32 @@ func (s *Service) AccrueStorage(d time.Duration, app string) {
 	s.meter.Add(pricing.Usage{Kind: pricing.S3StorageGBMo, Quantity: gb * months, App: app})
 }
 
-// begin performs per-call latency, metering and authorization.
-func (s *Service) begin(ctx *sim.Context, action, resource string, payload int64, reqKind pricing.Kind) error {
+// begin performs per-call tracing, latency, metering and
+// authorization. The returned span is still open so callers can
+// attach post-call attribution (e.g. transfer-out billing); they
+// close it via ctx.FinishSpan.
+func (s *Service) begin(ctx *sim.Context, action, resource string, payload int64, reqKind pricing.Kind) (*trace.Span, error) {
+	sp := ctx.StartSpan("s3", action)
+	if payload > 0 {
+		sp.Annotate("bytes", strconv.FormatInt(payload, 10))
+	}
 	s.advanceLatency(ctx, payload)
 	var app string
 	if ctx != nil {
 		app = ctx.App
 	}
-	s.meter.Add(pricing.Usage{Kind: reqKind, Quantity: 1, App: app})
+	usage := pricing.Usage{Kind: reqKind, Quantity: 1, App: app}
+	s.meter.Add(usage)
+	sp.AddUsage(usage)
 	principal := ""
 	if ctx != nil {
 		principal = ctx.Principal
 	}
-	return s.iam.Authorize(principal, action, resource)
+	err := s.iam.Authorize(principal, action, resource)
+	if err != nil {
+		sp.Annotate("error", "access-denied")
+	}
+	return sp, err
 }
 
 // advanceLatency applies the S3 call latency to the flow's timeline:
@@ -303,14 +326,16 @@ func (s *Service) advanceLatency(ctx *sim.Context, payload int64) {
 	ctx.Advance(base + netsim.TransferTime(payload, bw))
 }
 
-func (s *Service) meterTransferOut(ctx *sim.Context, bytes int64) {
+func (s *Service) meterTransferOut(ctx *sim.Context, sp *trace.Span, bytes int64) {
 	var app string
 	if ctx != nil {
 		app = ctx.App
 	}
-	s.meter.Add(pricing.Usage{
+	usage := pricing.Usage{
 		Kind:     pricing.TransferOutGB,
 		Quantity: float64(bytes) / 1e9,
 		App:      app,
-	})
+	}
+	s.meter.Add(usage)
+	sp.AddUsage(usage)
 }

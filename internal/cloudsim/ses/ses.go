@@ -12,6 +12,7 @@ package ses
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -78,6 +79,9 @@ func (s *Service) RegisterInbound(addr, fnName string) error {
 // receive the mail via their Lambda trigger; others leave the
 // simulation into the outbox.
 func (s *Service) Send(ctx *sim.Context, from string, to []string, raw []byte) error {
+	sp, done := ctx.PushSpan("ses", "Send")
+	defer done()
+	sp.Annotate("recipients", strconv.Itoa(len(to)))
 	if s.model != nil && ctx != nil {
 		ctx.Advance(s.model.Sample(netsim.HopSES))
 	}
@@ -88,7 +92,9 @@ func (s *Service) Send(ctx *sim.Context, from string, to []string, raw []byte) e
 	var firstErr error
 	for _, rcpt := range to {
 		rcpt = normalize(rcpt)
-		s.meter.Add(pricing.Usage{Kind: pricing.SESMessages, Quantity: 1, App: app})
+		usage := pricing.Usage{Kind: pricing.SESMessages, Quantity: 1, App: app}
+		s.meter.Add(usage)
+		sp.AddUsage(usage)
 		if err := s.deliver(ctx, from, rcpt, raw); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -106,6 +112,9 @@ func (s *Service) Deliver(ctx *sim.Context, from, to string, raw []byte) error {
 	if !hooked {
 		return fmt.Errorf("ses: %q: %w", to, ErrNoHook)
 	}
+	sp, done := ctx.PushSpan("ses", "Deliver")
+	defer done()
+	sp.Annotate("to", to)
 	if s.model != nil && ctx != nil {
 		ctx.Advance(s.model.Sample(netsim.HopSES))
 	}

@@ -1,11 +1,15 @@
 // Package sim holds the primitives shared by every simulated cloud
-// service: the per-request virtual timeline (Cursor) and the call
-// context that identifies the caller and its network characteristics.
+// service: the per-request virtual timeline (Cursor), the call
+// context that identifies the caller and its network characteristics,
+// and the hook threading distributed traces through every service
+// hop.
 package sim
 
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/cloudsim/trace"
 )
 
 // Cursor tracks simulated time along one request flow. Each service hop
@@ -90,6 +94,11 @@ type Context struct {
 	// client). Data returned to an external caller is billed as
 	// internet transfer out.
 	External bool
+
+	// Span is the trace span this call is currently nested under, or
+	// nil when the flow is not being traced. Services open children
+	// under it at every hop; see StartTrace.
+	Span *trace.Span
 }
 
 // Advance moves the context's cursor, if any, forward by d.
@@ -112,6 +121,58 @@ func (c *Context) Now() time.Time {
 func (c Context) WithPrincipal(p string) *Context {
 	c.Principal = p
 	return &c
+}
+
+// StartTrace attaches a fresh trace to the context, rooted at the
+// cursor's current instant, and returns it. The caller finishes the
+// trace (tr.Finish(ctx.Now())) when the flow completes. Returns nil —
+// and leaves the context untraced — when the context has no cursor:
+// without a simulated timeline spans have no meaningful extent.
+func (c *Context) StartTrace(name string) *trace.Trace {
+	if c == nil || c.Cursor == nil {
+		return nil
+	}
+	tr := trace.New(name, c.Cursor.Now())
+	c.Span = tr.Root()
+	return tr
+}
+
+// StartSpan opens a child span for one service hop under the
+// context's current span, starting at the cursor's current instant.
+// Returns nil when the flow is untraced; all trace.Span methods
+// tolerate nil receivers, so call sites need no guards.
+func (c *Context) StartSpan(service, op string) *trace.Span {
+	if c == nil || c.Span == nil || c.Cursor == nil {
+		return nil
+	}
+	return c.Span.StartChild(service, op, c.Cursor.Now())
+}
+
+// FinishSpan closes a span at the cursor's current instant. Safe on
+// nil spans and untraced contexts.
+func (c *Context) FinishSpan(s *trace.Span) {
+	if s == nil || c == nil || c.Cursor == nil {
+		return
+	}
+	s.Finish(c.Cursor.Now())
+}
+
+// PushSpan opens a child span and makes it the context's current
+// span, so downstream hops made with the same context nest under it.
+// The returned func restores the previous span and closes this one at
+// the then-current cursor instant; defer it. On untraced flows both
+// the span and the func are usable no-ops.
+func (c *Context) PushSpan(service, op string) (*trace.Span, func()) {
+	sp := c.StartSpan(service, op)
+	if sp == nil {
+		return nil, func() {}
+	}
+	prev := c.Span
+	c.Span = sp
+	return sp, func() {
+		c.Span = prev
+		sp.Finish(c.Cursor.Now())
+	}
 }
 
 // String describes the context for logs and errors.

@@ -25,6 +25,7 @@ import (
 	"repro/internal/cloudsim/iam"
 	"repro/internal/cloudsim/netsim"
 	"repro/internal/cloudsim/sim"
+	"repro/internal/cloudsim/trace"
 	"repro/internal/pricing"
 )
 
@@ -191,9 +192,12 @@ func (s *Service) Len(name string) int {
 // Send enqueues a message. The message becomes visible at the sender's
 // current simulated instant plus the queue-delivery latency.
 func (s *Service) Send(ctx *sim.Context, name string, body []byte) (string, error) {
-	if err := s.begin(ctx, ActionSend, name); err != nil {
+	sp, err := s.begin(ctx, ActionSend, name)
+	defer ctx.FinishSpan(sp)
+	if err != nil {
 		return "", err
 	}
+	sp.Annotate("bytes", strconv.Itoa(len(body)))
 	ctxAdvance(ctx, s.sample(netsim.HopSQSSend))
 
 	s.mu.Lock()
@@ -220,7 +224,9 @@ func (s *Service) Send(ctx *sim.Context, name string, body []byte) (string, erro
 // DefaultVisibility; they must be deleted once processed or they will
 // reappear (at-least-once delivery).
 func (s *Service) Receive(ctx *sim.Context, name string, max int, wait time.Duration) ([]Message, error) {
-	if err := s.begin(ctx, ActionReceive, name); err != nil {
+	sp, err := s.begin(ctx, ActionReceive, name)
+	defer ctx.FinishSpan(sp)
+	if err != nil {
 		return nil, err
 	}
 	if max <= 0 {
@@ -234,10 +240,14 @@ func (s *Service) Receive(ctx *sim.Context, name string, max int, wait time.Dura
 	}
 	ctxAdvance(ctx, s.sample(netsim.HopSQSPoll))
 
+	var msgs []Message
 	if ctx != nil && ctx.Cursor != nil {
-		return s.receiveVirtual(ctx, name, max, wait)
+		msgs, err = s.receiveVirtual(ctx, name, max, wait)
+	} else {
+		msgs, err = s.receiveBlocking(ctx, name, max, wait)
 	}
-	return s.receiveBlocking(ctx, name, max, wait)
+	sp.Annotate("messages", strconv.Itoa(len(msgs)))
+	return msgs, err
 }
 
 // receiveVirtual resolves the long poll on the flow's virtual timeline:
@@ -360,7 +370,9 @@ func (s *Service) receiveBlocking(ctx *sim.Context, name string, max int, wait t
 // Delete removes a received message by id. Deleting an unknown id is a
 // no-op, matching SQS semantics.
 func (s *Service) Delete(ctx *sim.Context, name, id string) error {
-	if err := s.begin(ctx, ActionDelete, name); err != nil {
+	sp, err := s.begin(ctx, ActionDelete, name)
+	defer ctx.FinishSpan(sp)
+	if err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -378,13 +390,24 @@ func (s *Service) Delete(ctx *sim.Context, name, id string) error {
 	return nil
 }
 
-func (s *Service) begin(ctx *sim.Context, action, name string) error {
+// begin traces, meters and authorizes one queue API call. The
+// returned span stays open so callers can annotate the outcome and
+// close it once the hop's latency has been applied.
+func (s *Service) begin(ctx *sim.Context, action, name string) (*trace.Span, error) {
+	sp := ctx.StartSpan("sqs", action)
+	sp.Annotate("queue", name)
 	var app, principal string
 	if ctx != nil {
 		app, principal = ctx.App, ctx.Principal
 	}
-	s.meter.Add(pricing.Usage{Kind: pricing.SQSRequests, Quantity: 1, App: app})
-	return s.iam.Authorize(principal, action, Resource(name))
+	usage := pricing.Usage{Kind: pricing.SQSRequests, Quantity: 1, App: app}
+	s.meter.Add(usage)
+	sp.AddUsage(usage)
+	err := s.iam.Authorize(principal, action, Resource(name))
+	if err != nil {
+		sp.Annotate("error", "access-denied")
+	}
+	return sp, err
 }
 
 func (s *Service) sample(h netsim.Hop) time.Duration {

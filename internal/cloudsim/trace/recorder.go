@@ -1,0 +1,72 @@
+package trace
+
+import "sync"
+
+// DefaultCapacity is the Recorder's default ring size.
+const DefaultCapacity = 256
+
+// Recorder collects finished traces in a bounded ring, oldest evicted
+// first — the simulated X-Ray backend the diyctl trace subcommand and
+// the trace-derived experiments query. It is safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	traces []*Trace
+	cap    int
+}
+
+// NewRecorder returns a recorder keeping up to capacity traces
+// (DefaultCapacity if non-positive).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{cap: capacity}
+}
+
+// Record stores a finished trace, evicting the oldest beyond the
+// capacity. Nil traces are ignored.
+func (r *Recorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.traces = append(r.traces, t)
+	if len(r.traces) > r.cap {
+		over := len(r.traces) - r.cap
+		r.traces = append(r.traces[:0:0], r.traces[over:]...)
+	}
+	r.mu.Unlock()
+}
+
+// Traces returns a copy of the retained traces, oldest first.
+func (r *Recorder) Traces() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Trace(nil), r.traces...)
+}
+
+// Last returns the most recently recorded trace, or nil.
+func (r *Recorder) Last() *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.traces) == 0 {
+		return nil
+	}
+	return r.traces[len(r.traces)-1]
+}
+
+// Len reports how many traces are retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.traces)
+}

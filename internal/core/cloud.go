@@ -23,6 +23,7 @@ import (
 	"repro/internal/cloudsim/s3"
 	"repro/internal/cloudsim/ses"
 	"repro/internal/cloudsim/sqs"
+	"repro/internal/cloudsim/trace"
 	"repro/internal/crypto/attest"
 	"repro/internal/pricing"
 )
@@ -47,6 +48,7 @@ type Cloud struct {
 	SES     *ses.Service
 	Gateway *gateway.Service
 	Metrics *metrics.Service
+	Tracer  *trace.Recorder
 	Attest  *attest.Platform
 }
 
@@ -97,6 +99,7 @@ func NewCloud(opts CloudOptions) (*Cloud, error) {
 	c.SES = ses.New(c.Lambda, c.Meter, c.Model)
 	c.Gateway = gateway.New(c.Lambda, c.Meter, c.Model, c.Clock)
 	c.Metrics = metrics.New()
+	c.Tracer = trace.NewRecorder(trace.DefaultCapacity)
 	c.Lambda.SetMetrics(c.Metrics)
 	c.Lambda.SetServices(lambda.Services{KMS: c.KMS, S3: c.S3, SQS: c.SQS, Dynamo: c.Dynamo, Email: c.SES})
 

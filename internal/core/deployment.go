@@ -16,6 +16,7 @@ import (
 	"repro/internal/cloudsim/s3"
 	"repro/internal/cloudsim/sim"
 	"repro/internal/cloudsim/sqs"
+	"repro/internal/cloudsim/trace"
 	"repro/internal/crypto/attest"
 	"repro/internal/crypto/envelope"
 )
@@ -226,6 +227,17 @@ func (d *Deployment) ClientContext() *sim.Context {
 		Cursor:    sim.NewCursor(d.Cloud.Clock.Now()),
 		External:  true,
 	}
+}
+
+// TracedContext is ClientContext with a distributed trace attached:
+// every service hop of the request records a span, and the finished
+// trace lands in the cloud's recorder. The caller finishes the trace
+// when the flow completes (or defers the returned trace's Finish).
+func (d *Deployment) TracedContext(name string) (*sim.Context, *trace.Trace) {
+	ctx := d.ClientContext()
+	tr := ctx.StartTrace(name)
+	d.Cloud.Tracer.Record(tr)
+	return ctx, tr
 }
 
 // Invoke sends one request through the HTTPS endpoint.

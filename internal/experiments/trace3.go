@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/apps/chat"
+	"repro/internal/cloudsim/netsim"
+	"repro/internal/cloudsim/trace"
+	"repro/internal/core"
+	"repro/internal/pricing"
+)
+
+// Trace3 re-derives Table 3's billed-time numbers from distributed
+// traces instead of aggregate CloudWatch-style statistics. Each chat
+// send carries a trace whose lambda span is annotated with its run and
+// billed time and whose hop spans carry the usage they were metered
+// for, so the same medians fall out of the trace store — plus the
+// per-service latency breakdown and per-request dollar attribution
+// that aggregates cannot provide.
+type Trace3 struct {
+	Samples    int
+	ColdStarts int
+
+	// Billed/run medians from the trace annotations, against the same
+	// medians from the monitoring service. Equal by construction: both
+	// observe the identical invocations.
+	MedBilledTraces  time.Duration
+	MedBilledMetrics time.Duration
+	MedRunTraces     time.Duration
+	MedRunMetrics    time.Duration
+
+	// Where the time goes inside the function: median per-trace total
+	// span time for each downstream service.
+	Breakdown []ServiceShare
+
+	// MedCostPerSend is the median list-price cost of one send's whole
+	// trace (request fee + GB-seconds + KMS + S3 + SQS).
+	MedCostPerSend pricing.Money
+
+	// Example is the rendered flame tree of the first traced send.
+	Example string
+}
+
+// ServiceShare is one service's contribution to a traced request.
+type ServiceShare struct {
+	Service  string
+	Calls    int           // median calls per trace
+	MedTotal time.Duration // median per-trace total span time
+}
+
+// RunTrace3 deploys the chat prototype, sends traced messages between
+// two members, and derives the Table 3 numbers from the trace store.
+func RunTrace3(sends int, seed int64) (*Trace3, error) {
+	if sends <= 0 {
+		sends = 200
+	}
+	opts := core.CloudOptions{Name: "trace3"}
+	if seed != 0 {
+		params := netsim.DefaultParams()
+		params.Seed = seed
+		opts.NetParams = &params
+	}
+	cloud, err := core.NewCloud(opts)
+	if err != nil {
+		return nil, err
+	}
+	d, err := chat.Install(cloud, "proto", chat.App{
+		Members:  []string{"alice", "bob"},
+		MemoryMB: 448,
+	})
+	if err != nil {
+		return nil, err
+	}
+	alice := chat.NewClient(d, "alice", "laptop")
+	bob := chat.NewClient(d, "bob", "phone")
+	if _, err := alice.Session(); err != nil {
+		return nil, err
+	}
+	if _, err := bob.Session(); err != nil {
+		return nil, err
+	}
+
+	var billed, run []time.Duration
+	var costs []pricing.Money
+	perService := make(map[string][]time.Duration)
+	perServiceCalls := make(map[string][]int)
+	cold := 0
+	var example string
+	var measureFrom time.Time
+	for i := 0; i < sends; i++ {
+		cloud.Clock.Advance(40 * time.Second)
+		if i == 0 {
+			// Window start for the metrics comparison: after the
+			// session-initiation invocations, before the first send.
+			measureFrom = cloud.Clock.Now()
+		}
+		tr, stats, err := alice.SendTraced(fmt.Sprintf("traced message %d", i))
+		if err != nil {
+			return nil, fmt.Errorf("trace3 send %d: %w", i, err)
+		}
+		lsp := tr.Find("lambda", d.FnName)
+		if lsp == nil {
+			return nil, fmt.Errorf("trace3 send %d: no lambda span", i)
+		}
+		b, err := annotatedMillis(lsp, "billed_ms")
+		if err != nil {
+			return nil, fmt.Errorf("trace3 send %d: %w", i, err)
+		}
+		r, err := annotatedMillis(lsp, "run_ms")
+		if err != nil {
+			return nil, fmt.Errorf("trace3 send %d: %w", i, err)
+		}
+		billed = append(billed, b)
+		run = append(run, r)
+		costs = append(costs, tr.Cost(cloud.Book))
+		if stats.ColdStart {
+			cold++
+		}
+		for _, svc := range []string{"kms", "s3", "sqs"} {
+			var total time.Duration
+			spans := tr.FindAll(svc)
+			for _, s := range spans {
+				total += s.Duration()
+			}
+			perService[svc] = append(perService[svc], total)
+			perServiceCalls[svc] = append(perServiceCalls[svc], len(spans))
+		}
+		if i == 0 {
+			example = tr.Render(cloud.Book)
+		}
+	}
+
+	out := &Trace3{
+		Samples:          sends,
+		ColdStarts:       cold,
+		MedBilledTraces:  nearestRankDur(billed, 50),
+		MedBilledMetrics: time.Duration(cloud.Metrics.Percentile(d.FnName, "billed-ms", measureFrom, time.Time{}, 50) * float64(time.Millisecond)),
+		MedRunTraces:     nearestRankDur(run, 50),
+		MedRunMetrics:    time.Duration(cloud.Metrics.Percentile(d.FnName, "run-ms", measureFrom, time.Time{}, 50) * float64(time.Millisecond)),
+		MedCostPerSend:   medianMoney(costs),
+		Example:          example,
+	}
+	for _, svc := range []string{"kms", "s3", "sqs"} {
+		calls := perServiceCalls[svc]
+		sort.Ints(calls)
+		out.Breakdown = append(out.Breakdown, ServiceShare{
+			Service:  svc,
+			Calls:    calls[(50*len(calls)+99)/100-1],
+			MedTotal: nearestRankDur(perService[svc], 50),
+		})
+	}
+	_ = bob
+	return out, nil
+}
+
+// Render prints the trace-derived Table 3 with the breakdown.
+func (t *Trace3) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 3 re-derived from distributed traces\n")
+	fmt.Fprintf(&sb, "  %-38s %10v  (metrics: %v)\n", "Med. Lambda Time Billed",
+		t.MedBilledTraces.Round(time.Millisecond), t.MedBilledMetrics.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "  %-38s %10v  (metrics: %v)\n", "Med. Lambda Time Run",
+		t.MedRunTraces.Round(time.Millisecond), t.MedRunMetrics.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "  %-38s %10s\n", "Med. cost per send (list price)", fmt.Sprintf("$%.8f", t.MedCostPerSend.Dollars()))
+	fmt.Fprintf(&sb, "  %-38s %10d\n", "(samples)", t.Samples)
+	fmt.Fprintf(&sb, "  %-38s %10d\n", "(cold starts)", t.ColdStarts)
+	sb.WriteString("  where the run time goes (median per send):\n")
+	for _, s := range t.Breakdown {
+		fmt.Fprintf(&sb, "    %-8s %2d call(s) %10v\n", s.Service, s.Calls, s.MedTotal.Round(time.Millisecond))
+	}
+	sb.WriteString("  example trace (first send):\n")
+	for _, line := range strings.Split(strings.TrimRight(t.Example, "\n"), "\n") {
+		sb.WriteString("    " + line + "\n")
+	}
+	return sb.String()
+}
+
+// annotatedMillis reads a millisecond annotation from a span.
+func annotatedMillis(s *trace.Span, key string) (time.Duration, error) {
+	v, ok := s.Annotation(key)
+	if !ok {
+		return 0, fmt.Errorf("span %s %s: no %s annotation", s.Service(), s.Op(), key)
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("span %s %s: bad %s: %w", s.Service(), s.Op(), key, err)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// nearestRankDur is the nearest-rank percentile (the metrics service's
+// definition, so trace- and metrics-derived medians agree exactly).
+func nearestRankDur(samples []time.Duration, p int) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	cp := append([]time.Duration(nil), samples...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	rank := (p*len(cp) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(cp) {
+		rank = len(cp)
+	}
+	return cp[rank-1]
+}
+
+func medianMoney(samples []pricing.Money) pricing.Money {
+	if len(samples) == 0 {
+		return 0
+	}
+	cp := append([]pricing.Money(nil), samples...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	rank := (50*len(cp) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return cp[rank-1]
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The trace-derived Table 3 must agree with the monitoring-derived
+// numbers: both observe the same invocations, one through span
+// annotations, the other through published metric samples.
+func TestTrace3AgreesWithMetrics(t *testing.T) {
+	tr3, err := RunTrace3(60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr3.MedBilledTraces != tr3.MedBilledMetrics {
+		t.Errorf("billed medians disagree: traces %v, metrics %v",
+			tr3.MedBilledTraces, tr3.MedBilledMetrics)
+	}
+	// Run-time annotations are whole milliseconds; the metric keeps
+	// sub-millisecond precision, so truncate before comparing.
+	if want := tr3.MedRunMetrics.Truncate(time.Millisecond); tr3.MedRunTraces != want {
+		t.Errorf("run medians disagree: traces %v, metrics %v (truncated %v)",
+			tr3.MedRunTraces, tr3.MedRunMetrics, want)
+	}
+	// The calibrated Table 3 ballpark: 200 ms billed, ~134 ms run.
+	if tr3.MedBilledTraces != 200*time.Millisecond {
+		t.Errorf("med billed = %v, want 200ms", tr3.MedBilledTraces)
+	}
+	if tr3.MedRunTraces < 120*time.Millisecond || tr3.MedRunTraces > 150*time.Millisecond {
+		t.Errorf("med run = %v, want ≈134ms", tr3.MedRunTraces)
+	}
+	if tr3.MedCostPerSend <= 0 {
+		t.Error("median cost per send is zero")
+	}
+	// The breakdown covers the three services a send touches, and the
+	// in-function time they account for fits inside the run time.
+	var inside time.Duration
+	for _, s := range tr3.Breakdown {
+		if s.Calls < 1 {
+			t.Errorf("%s: %d calls", s.Service, s.Calls)
+		}
+		inside += s.MedTotal
+	}
+	if inside <= 0 || inside > tr3.MedRunTraces+50*time.Millisecond {
+		t.Errorf("service breakdown %v inconsistent with run %v", inside, tr3.MedRunTraces)
+	}
+	out := tr3.Render()
+	for _, frag := range []string{"re-derived from distributed traces", "chat-send", "lambda", "$"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+}

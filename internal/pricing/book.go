@@ -128,3 +128,39 @@ func (b *PriceBook) WithoutFreeTiers() *PriceBook {
 func (b *PriceBook) EC2Hourly(instanceType string) Money {
 	return b.EC2HourlyByType[instanceType]
 }
+
+// ListPrice prices one usage record at the book's list price,
+// ignoring free-tier allowances — the marginal-cost view used for
+// per-span cost attribution in traces (free tiers apply account-wide,
+// never to an individual request). Unknown kinds price at zero.
+func (b *PriceBook) ListPrice(u Usage) Money {
+	switch u.Kind {
+	case LambdaRequests:
+		return b.LambdaPerMillionRequests.MulFloat(u.Quantity / 1e6)
+	case LambdaGBSeconds:
+		return b.LambdaPerGBSecond.MulFloat(u.Quantity)
+	case S3StorageGBMo:
+		return b.S3StoragePerGBMonth.MulFloat(u.Quantity)
+	case S3PutRequests:
+		return b.S3PerThousandPUT.MulFloat(u.Quantity / 1e3)
+	case S3GetRequests:
+		return b.S3PerThousandGET.MulFloat(u.Quantity / 1e3)
+	case TransferOutGB:
+		return b.TransferOutPerGB.MulFloat(u.Quantity)
+	case SQSRequests:
+		return b.SQSPerMillionRequests.MulFloat(u.Quantity / 1e6)
+	case KMSRequests:
+		return b.KMSPerTenThousandRequests.MulFloat(u.Quantity / 1e4)
+	case KMSCustomerKeys:
+		return b.KMSPerCustomerKeyMonth.MulFloat(u.Quantity)
+	case SESMessages:
+		return b.SESPerThousandMessages.MulFloat(u.Quantity / 1e3)
+	case DynamoWCU:
+		return b.DynamoPerMillionWCU.MulFloat(u.Quantity / 1e6)
+	case DynamoRCU:
+		return b.DynamoPerMillionRCU.MulFloat(u.Quantity / 1e6)
+	case EC2Seconds:
+		return b.EC2Hourly(u.Resource).MulFloat(u.Quantity / 3600)
+	}
+	return 0
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate: static analysis plus
+# the test suite under the race detector. CI and `make check` run this.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo ">> go vet ./..."
+go vet ./...
+
+echo ">> go test -race ./..."
+go test -race ./...
+
+echo "check: all green"
