@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race bench
+.PHONY: build test check vet lint race bench
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,12 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs diylint, the repo's domain-invariant analyzer suite
+# (wallclock, globalrand, moneyfloat, spanhygiene, droppederr).
+# Deliberate findings live in .diylint-allow with a justification.
+lint:
+	$(GO) run ./cmd/diylint ./...
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,109 @@
+// Command diylint runs the repo's domain-invariant static analyzers:
+// virtual-time purity (wallclock), seeded randomness (globalrand),
+// nanodollar money discipline (moneyfloat), trace-span coverage
+// (spanhygiene), and discarded errors (droppederr).
+//
+// Usage:
+//
+//	diylint [-allow file] [packages...]
+//
+// Packages are directory patterns relative to the module root
+// ("./..." by default; a trailing /... recurses, skipping testdata).
+// Findings print as "file:line: analyzer: message". Exit status is 0
+// when clean, 1 when findings remain after the allowlist, and 2 on
+// driver errors.
+//
+// Pre-existing findings that are deliberate carry an entry in the
+// module root's .diylint-allow file:
+//
+//	<analyzer> <file>[:<line>] # <justification>
+//
+// The justification is required — an unexplained suppression is
+// rejected — and entries that no longer match anything are reported as
+// stale so the file cannot rot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	allowFlag := flag.String("allow", "", "allowlist file (default: <module root>/.diylint-allow if present)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: diylint [-allow file] [packages...]\n\nAnalyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	os.Exit(run(*allowFlag, flag.Args()))
+}
+
+func run(allowPath string, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		return fail(err)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		return fail(err)
+	}
+	// Interpret patterns relative to the invocation directory, not the
+	// module root, so `go run ./cmd/diylint ./internal/...` works from
+	// subdirectories too.
+	abs := make([]string, len(patterns))
+	for i, p := range patterns {
+		if filepath.IsAbs(p) {
+			abs[i] = p
+		} else {
+			abs[i] = filepath.Join(wd, p)
+		}
+	}
+
+	prog, err := analysis.Load(root, abs)
+	if err != nil {
+		return fail(err)
+	}
+
+	var entries []*analysis.AllowEntry
+	if allowPath == "" {
+		candidate := filepath.Join(root, ".diylint-allow")
+		if _, statErr := os.Stat(candidate); statErr == nil {
+			allowPath = candidate
+		}
+	}
+	if allowPath != "" {
+		entries, err = analysis.ParseAllowFile(allowPath)
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	findings := analysis.Run(prog, analysis.Analyzers())
+	kept, stale := analysis.Filter(findings, entries, root)
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "diylint: stale allowlist entry: %s %s (matches nothing; remove it)\n", e.Analyzer, e.File)
+	}
+	for _, f := range kept {
+		fmt.Println(f.Rel(root))
+	}
+	if len(kept) > 0 {
+		fmt.Fprintf(os.Stderr, "diylint: %d finding(s)\n", len(kept))
+		return 1
+	}
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "diylint:", err)
+	return 2
+}

@@ -1,0 +1,138 @@
+// Package analysis implements diylint, the repo's domain-invariant
+// static analyzer. The paper's cost tables only hold if the simulator
+// is deterministic and correctly metered, so a suite of analyzers
+// machine-checks the invariants every service must obey:
+//
+//   - wallclock: simulator, app, and workload code reads time only
+//     through an injected clock.Clock, never the time package's wall
+//     clock, so virtual-timeline replay stays deterministic;
+//   - globalrand: randomness comes from an injected seeded *rand.Rand,
+//     never the process-global math/rand source;
+//   - moneyfloat: scaling and float conversion of pricing.Money happen
+//     only inside internal/pricing, preserving nanodollar parity;
+//   - spanhygiene: exported service methods that accept a *sim.Context
+//     touch the span API, so trace coverage cannot silently regress;
+//   - droppederr: internal/cloudsim never discards an error with `_ =`.
+//
+// The driver is stdlib-only (go/ast, go/parser, go/types): the repo is
+// built offline, so there is no golang.org/x/tools dependency.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the finding as "file:line: analyzer: message" with the
+// file path relative to root (or absolute if rel fails).
+func (f Finding) String() string { return f.Rel("") }
+
+// Rel formats the finding with its file path relative to root.
+func (f Finding) Rel(root string) string {
+	name := f.Pos.Filename
+	if root != "" {
+		if r, err := filepath.Rel(root, name); err == nil {
+			name = filepath.ToSlash(r)
+		}
+	}
+	return fmt.Sprintf("%s:%d: %s: %s", name, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Pass is the per-package unit of work handed to each analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+
+	findings *[]Finding
+	name     string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full diylint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		WallClock,
+		GlobalRand,
+		MoneyFloat,
+		SpanHygiene,
+		DroppedErr,
+	}
+}
+
+// AnalyzerNames reports the names of the full suite.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Run applies the analyzers to every package of prog and returns the
+// findings sorted by position.
+func Run(prog *Program, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range prog.Pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Fset: prog.Fset, Pkg: pkg, findings: &findings, name: a.Name}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// pathWithin reports whether pkgPath lies inside the module-relative
+// directory dir (e.g. "internal/cloudsim"). Matching is on path
+// segments anywhere in the import path, so the fixture packages under
+// internal/analysis/testdata/src/internal/cloudsim/... exercise the
+// same scope rules as the real tree.
+func pathWithin(pkgPath, dir string) bool {
+	return strings.Contains("/"+pkgPath+"/", "/"+dir+"/")
+}
+
+// walkFiles applies fn to every node of every file in the pass's
+// package (test files are never loaded, so they are never visited).
+func walkFiles(p *Pass, fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

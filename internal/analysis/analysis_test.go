@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// fixtureProgram loads every fixture package once; the loader
+// type-checks the standard library from source, so tests share the
+// result.
+var (
+	fixtureOnce sync.Once
+	fixtureProg *Program
+	fixtureErr  error
+	moduleRoot  string
+)
+
+// fixtureDirs are the fixture packages relative to testdata/src. The
+// bad/good pairing per analyzer lives in goldenCases.
+var fixtureDirs = []string{
+	"internal/cloudsim/wallbad",
+	"internal/cloudsim/wallgood",
+	"internal/cloudsim/randbad",
+	"internal/cloudsim/randgood",
+	"internal/cloudsim/spanbad",
+	"internal/cloudsim/spangood",
+	"internal/cloudsim/errbad",
+	"internal/cloudsim/errgood",
+	"moneybad",
+	"moneygood",
+}
+
+func loadFixtures(t *testing.T) *Program {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		moduleRoot, fixtureErr = FindModuleRoot(".")
+		if fixtureErr != nil {
+			return
+		}
+		var patterns []string
+		for _, d := range fixtureDirs {
+			patterns = append(patterns, filepath.Join(moduleRoot, "internal/analysis/testdata/src", d))
+		}
+		fixtureProg, fixtureErr = Load(moduleRoot, patterns)
+	})
+	if fixtureErr != nil {
+		t.Fatalf("loading fixtures: %v", fixtureErr)
+	}
+	return fixtureProg
+}
+
+// subProgram narrows prog to the packages whose paths end in one of the
+// given fixture suffixes.
+func subProgram(prog *Program, suffixes ...string) *Program {
+	sub := &Program{Fset: prog.Fset, Root: prog.Root, Module: prog.Module}
+	for _, pkg := range prog.Pkgs {
+		for _, s := range suffixes {
+			if strings.HasSuffix(pkg.Path, "/"+s) {
+				sub.Pkgs = append(sub.Pkgs, pkg)
+			}
+		}
+	}
+	return sub
+}
+
+var goldenCases = []struct {
+	analyzer *Analyzer
+	bad      string // fixture with findings
+	good     string // fixture that must stay silent
+}{
+	{WallClock, "internal/cloudsim/wallbad", "internal/cloudsim/wallgood"},
+	{GlobalRand, "internal/cloudsim/randbad", "internal/cloudsim/randgood"},
+	{MoneyFloat, "moneybad", "moneygood"},
+	{SpanHygiene, "internal/cloudsim/spanbad", "internal/cloudsim/spangood"},
+	{DroppedErr, "internal/cloudsim/errbad", "internal/cloudsim/errgood"},
+}
+
+// TestGolden runs each analyzer over its positive and negative fixture
+// packages and compares the rendered findings against the golden file.
+// The negative fixture is loaded in the same pass, so the golden file
+// containing no line from it is the negative assertion.
+func TestGolden(t *testing.T) {
+	prog := loadFixtures(t)
+	for _, tc := range goldenCases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			sub := subProgram(prog, tc.bad, tc.good)
+			if len(sub.Pkgs) != 2 {
+				t.Fatalf("want 2 fixture packages, loaded %d", len(sub.Pkgs))
+			}
+			findings := Run(sub, []*Analyzer{tc.analyzer})
+
+			var badHits, goodHits int
+			var sb strings.Builder
+			for _, f := range findings {
+				if strings.Contains(f.Pos.Filename, tc.bad) {
+					badHits++
+				}
+				if strings.Contains(f.Pos.Filename, tc.good) {
+					goodHits++
+				}
+				sb.WriteString(f.Rel(moduleRoot))
+				sb.WriteString("\n")
+			}
+			if badHits == 0 {
+				t.Errorf("positive fixture %s produced no %s findings", tc.bad, tc.analyzer.Name)
+			}
+			if goodHits != 0 {
+				t.Errorf("negative fixture %s produced %d %s findings", tc.good, goodHits, tc.analyzer.Name)
+			}
+
+			goldenPath := filepath.Join(moduleRoot, "internal/analysis/testdata/golden", tc.analyzer.Name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(sb.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/analysis -update`): %v", err)
+			}
+			if got := sb.String(); got != string(want) {
+				t.Errorf("findings diverge from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestRepoIsClean is `diylint ./...` as a test: the tree itself must
+// satisfy every invariant, modulo the justified entries in
+// .diylint-allow, and no allowlist entry may be stale.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module; skipped in -short mode")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root, []string{filepath.Join(root, "...")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []*AllowEntry
+	if allowPath := filepath.Join(root, ".diylint-allow"); fileExists(allowPath) {
+		entries, err = ParseAllowFile(allowPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	findings := Run(prog, Analyzers())
+	kept, stale := Filter(findings, entries, root)
+	for _, f := range kept {
+		t.Errorf("unallowed finding: %s", f.Rel(root))
+	}
+	for _, e := range stale {
+		t.Errorf("stale allowlist entry: %s %s # %s", e.Analyzer, e.File, e.Justification)
+	}
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// TestFixturesExcludedFromGoTooling is diylint's self-check: every
+// fixture package must live under a testdata directory (which the go
+// tool — and so `go test ./...` — never descends into), and the
+// driver's own recursive pattern expansion must skip them the same
+// way, so fixtures are only ever analyzed when named explicitly.
+func TestFixturesExcludedFromGoTooling(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range fixtureDirs {
+		dir := filepath.Join(root, "internal/analysis/testdata/src", d)
+		if !hasGoFiles(dir) {
+			t.Errorf("fixture %s has no Go files", d)
+		}
+		onTestdataPath := false
+		for _, seg := range strings.Split(filepath.ToSlash(dir), "/") {
+			if seg == "testdata" {
+				onTestdataPath = true
+			}
+		}
+		if !onTestdataPath {
+			t.Errorf("fixture %s is not under a testdata directory; go test ./... would compile it", d)
+		}
+	}
+	dirs, err := expandPatterns(root, []string{filepath.Join(root, "...")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		if strings.Contains(filepath.ToSlash(dir), "/testdata/") || strings.HasSuffix(dir, "/testdata") {
+			t.Errorf("recursive expansion leaked a testdata package: %s", dir)
+		}
+	}
+}
+
+// TestExpandPatternsExplicitTestdata checks the flip side of the
+// exclusion: naming a fixture directory explicitly must load it.
+func TestExpandPatternsExplicitTestdata(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal/analysis/testdata/src/internal/cloudsim/wallbad")
+	dirs, err := expandPatterns(root, []string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 1 || dirs[0] != dir {
+		t.Fatalf("explicit fixture pattern expanded to %v, want [%s]", dirs, dir)
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	entries, err := parseAllow(`
+# comment
+wallclock internal/foo/bar.go # server deadlines are genuinely wall-clock
+droppederr internal/foo/baz.go:42 # close on shutdown path, error is unactionable
+`, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	if entries[0].Analyzer != "wallclock" || entries[0].File != "internal/foo/bar.go" || entries[0].Line != 0 {
+		t.Errorf("entry 0 parsed as %+v", entries[0])
+	}
+	if entries[1].Line != 42 || entries[1].Justification == "" {
+		t.Errorf("entry 1 parsed as %+v", entries[1])
+	}
+
+	if _, err := parseAllow("wallclock internal/foo/bar.go\n", "test"); err == nil {
+		t.Error("entry without justification must be rejected")
+	}
+	if _, err := parseAllow("wallclock internal/foo/bar.go #   \n", "test"); err == nil {
+		t.Error("entry with blank justification must be rejected")
+	}
+	if _, err := parseAllow("nosuch internal/foo/bar.go # why\n", "test"); err == nil {
+		t.Error("unknown analyzer must be rejected")
+	}
+	if _, err := parseAllow("wallclock internal/foo/bar.go:zero # why\n", "test"); err == nil {
+		t.Error("bad line number must be rejected")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	root := string(filepath.Separator) + "mod"
+	mk := func(file string, line int, analyzer string) Finding {
+		return Finding{
+			Analyzer: analyzer,
+			Pos:      token.Position{Filename: filepath.Join(root, file), Line: line},
+		}
+	}
+	findings := []Finding{
+		mk("a/a.go", 10, "wallclock"),
+		mk("a/a.go", 20, "wallclock"),
+		mk("b/b.go", 5, "droppederr"),
+	}
+	entries, err := parseAllow(`
+wallclock a/a.go:10 # line-scoped
+droppederr b/b.go # file-scoped
+globalrand c/c.go # never matches
+`, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, stale := Filter(findings, entries, root)
+	if len(kept) != 1 || kept[0].Pos.Line != 20 {
+		t.Errorf("kept = %v, want only the line-20 wallclock finding", kept)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "globalrand" {
+		t.Errorf("stale = %v, want only the globalrand entry", stale)
+	}
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr flags `_ =` discards of error-returning calls in the
+// cloud simulator. A simulated service swallowing an error is how a
+// billing or IAM bug hides: the meter under-counts and every table
+// downstream is silently wrong.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "internal/cloudsim must not discard errors with `_ =`; handle them or justify the discard in the allowlist",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(p *Pass) {
+	if !pathWithin(p.Pkg.Path, "internal/cloudsim") {
+		return
+	}
+	info := p.Pkg.Info
+	errorType := types.Universe.Lookup("error").Type()
+	isError := func(t types.Type) bool { return t != nil && types.Identical(t, errorType) }
+
+	walkFiles(p, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// Multi-value form: v, _ := f()
+		if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+			call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tup, ok := info.Types[call].Type.(*types.Tuple)
+			if !ok || tup.Len() != len(assign.Lhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				if isBlank(lhs) && isError(tup.At(i).Type()) {
+					p.Reportf(lhs.Pos(),
+						"error result of %s is discarded with _; handle it or allowlist the discard with a justification",
+						types.ExprString(call.Fun))
+				}
+			}
+			return true
+		}
+		// Pairwise form: _ = f()
+		for i, lhs := range assign.Lhs {
+			if i >= len(assign.Rhs) || !isBlank(lhs) {
+				continue
+			}
+			call, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if tv, ok := info.Types[call]; ok && isError(tv.Type) {
+				p.Reportf(lhs.Pos(),
+					"error result of %s is discarded with _; handle it or allowlist the discard with a justification",
+					types.ExprString(call.Fun))
+			}
+		}
+		return true
+	})
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

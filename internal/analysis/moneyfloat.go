@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MoneyFloat keeps nanodollar parity enforceable: every dollar must be
+// computed inside internal/pricing. Outside that package the analyzer
+// flags scaling arithmetic (*, /, *=, /=) on pricing.Money and any
+// conversion between pricing.Money and a float type. Addition,
+// subtraction, and comparison stay legal everywhere — they are exact —
+// as are the sanctioned methods (MulFloat, Dollars, FromDollars).
+var MoneyFloat = &Analyzer{
+	Name: "moneyfloat",
+	Doc:  "money scaling and float conversion happen only in internal/pricing; elsewhere use pricing.Money methods",
+	Run:  runMoneyFloat,
+}
+
+func runMoneyFloat(p *Pass) {
+	if pathWithin(p.Pkg.Path, "internal/pricing") {
+		return
+	}
+	info := p.Pkg.Info
+	isMoney := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		return ok && isMoneyType(tv.Type)
+	}
+	walkFiles(p, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if (n.Op == token.MUL || n.Op == token.QUO) && (isMoney(n.X) || isMoney(n.Y)) {
+				p.Reportf(n.OpPos,
+					"%q arithmetic on pricing.Money outside internal/pricing; use Money.MulFloat (or move the computation into the pricing package) to keep nanodollar parity",
+					n.Op)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.MUL_ASSIGN || n.Tok == token.QUO_ASSIGN {
+				for _, lhs := range n.Lhs {
+					if isMoney(lhs) {
+						p.Reportf(n.TokPos,
+							"%q arithmetic on pricing.Money outside internal/pricing; use Money.MulFloat to keep nanodollar parity", n.Tok)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if len(n.Args) != 1 {
+				return true
+			}
+			tv, ok := info.Types[n.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			target := tv.Type
+			argT := info.Types[n.Args[0]].Type
+			switch {
+			case isMoneyType(target) && isFloatType(argT):
+				p.Reportf(n.Pos(),
+					"float-to-Money conversion outside internal/pricing loses nanodollar parity; use pricing.FromDollars")
+			case isFloatType(target) && isMoneyType(argT):
+				p.Reportf(n.Pos(),
+					"Money-to-float conversion outside internal/pricing loses nanodollar parity; use Money.Dollars for display only")
+			}
+		}
+		return true
+	})
+}
+
+// isMoneyType reports whether t is pricing.Money.
+func isMoneyType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Money" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/pricing")
+}
+
+// isFloatType reports whether t is a float (or untyped float constant)
+// type.
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// spanAPI are the sim.Context methods that open, close, or root spans.
+// Reaching any of them (directly or through a same-package helper)
+// counts as participating in tracing.
+var spanAPI = map[string]bool{
+	"StartSpan":  true,
+	"FinishSpan": true,
+	"PushSpan":   true,
+	"StartTrace": true,
+}
+
+// SpanHygiene guards the trace coverage established by the distributed
+// tracing work: every exported service method that accepts a
+// *sim.Context must touch the span API — directly, through a
+// same-package helper (the usual `begin` pattern), or by calling into
+// the trace package — so per-request cost attribution cannot silently
+// lose a hop.
+var SpanHygiene = &Analyzer{
+	Name: "spanhygiene",
+	Doc:  "exported cloudsim methods taking *sim.Context must start/finish spans so trace coverage cannot regress",
+	Run:  runSpanHygiene,
+}
+
+func runSpanHygiene(p *Pass) {
+	path := p.Pkg.Path
+	if !pathWithin(path, "internal/cloudsim") {
+		return
+	}
+	// The tracing substrate itself defines the API; it has nothing to
+	// delegate to.
+	if strings.HasSuffix(path, "internal/cloudsim/sim") || strings.HasSuffix(path, "internal/cloudsim/trace") {
+		return
+	}
+
+	type fnInfo struct {
+		decl    *ast.FuncDecl
+		touches bool
+		callees []*types.Func
+	}
+	infos := make(map[*types.Func]*fnInfo)
+	for _, file := range p.Pkg.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			obj, ok := p.Pkg.Info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &fnInfo{decl: decl}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(p.Pkg.Info, call)
+				if callee == nil || callee.Pkg() == nil {
+					return true
+				}
+				switch {
+				case strings.HasSuffix(callee.Pkg().Path(), "internal/cloudsim/sim") && spanAPI[callee.Name()]:
+					fi.touches = true
+				case strings.HasSuffix(callee.Pkg().Path(), "internal/cloudsim/trace"):
+					fi.touches = true
+				case callee.Pkg() == p.Pkg.Types:
+					fi.callees = append(fi.callees, callee)
+				}
+				return true
+			})
+			infos[obj] = fi
+		}
+	}
+
+	// Propagate touching through same-package calls to a fixpoint, so
+	// delegation chains of any depth count.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range infos {
+			if fi.touches {
+				continue
+			}
+			for _, c := range fi.callees {
+				if ci, ok := infos[c]; ok && ci.touches {
+					fi.touches = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for obj, fi := range infos {
+		decl := fi.decl
+		if fi.touches || decl.Recv == nil || !decl.Name.IsExported() {
+			continue
+		}
+		if !hasSimContextParam(p.Pkg.Info, decl) {
+			continue
+		}
+		p.Reportf(decl.Name.Pos(),
+			"exported method %s accepts a *sim.Context but never touches the span API; open a span (ctx.StartSpan/PushSpan) or delegate to a helper that does, so trace coverage does not regress",
+			obj.Name())
+	}
+}
+
+// calleeFunc resolves the function or method a call expression invokes,
+// or nil when it cannot be resolved statically.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// hasSimContextParam reports whether decl declares a parameter of type
+// *sim.Context (or sim.Context).
+func hasSimContextParam(info *types.Info, decl *ast.FuncDecl) bool {
+	for _, field := range decl.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		t := tv.Type
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Context" && obj.Pkg() != nil &&
+			strings.HasSuffix(obj.Pkg().Path(), "internal/cloudsim/sim") {
+			return true
+		}
+	}
+	return false
+}

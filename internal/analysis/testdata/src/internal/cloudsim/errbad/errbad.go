@@ -1,0 +1,20 @@
+// Package errbad discards errors with `_ =` in simulator-scoped code;
+// both discards must be flagged by droppederr.
+package errbad
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Run swallows a single error result.
+func Run() {
+	_ = work()
+}
+
+// Both swallows the error half of a multi-value return.
+func Both() int {
+	v, _ := pair()
+	return v
+}

@@ -1,0 +1,23 @@
+// Package errgood propagates every error in simulator-scoped code;
+// the droppederr analyzer must stay silent.
+package errgood
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Run propagates the single error result.
+func Run() error {
+	return work()
+}
+
+// Both propagates the error half of a multi-value return.
+func Both() (int, error) {
+	v, err := pair()
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}

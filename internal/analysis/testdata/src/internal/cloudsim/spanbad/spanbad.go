@@ -1,0 +1,15 @@
+// Package spanbad exports a simulated-service method that accepts a
+// *sim.Context but never opens a span; spanhygiene must flag it.
+package spanbad
+
+import "repro/internal/cloudsim/sim"
+
+// Service is a simulated service with a trace coverage gap.
+type Service struct{}
+
+// Get advances the timeline but records no span, so the hop is
+// invisible to per-request cost attribution.
+func (s *Service) Get(ctx *sim.Context, key string) string {
+	ctx.Advance(0)
+	return key
+}

@@ -1,0 +1,32 @@
+// Package spangood exports simulated-service methods that keep the
+// span API in the loop, directly and through the usual unexported
+// `begin` delegation; spanhygiene must stay silent.
+package spangood
+
+import (
+	"repro/internal/cloudsim/sim"
+	"repro/internal/cloudsim/trace"
+)
+
+// Service is a simulated service with full trace coverage.
+type Service struct{}
+
+// Get opens its span directly.
+func (s *Service) Get(ctx *sim.Context, key string) string {
+	sp := ctx.StartSpan("spangood", "Get")
+	defer ctx.FinishSpan(sp)
+	return key
+}
+
+// Put reaches the span API through an unexported helper.
+func (s *Service) Put(ctx *sim.Context, key string) {
+	sp := s.begin(ctx)
+	defer ctx.FinishSpan(sp)
+}
+
+// begin is the delegation pattern the real services use.
+func (s *Service) begin(ctx *sim.Context) *trace.Span {
+	sp := ctx.StartSpan("spangood", "op")
+	sp.Annotate("key", "value")
+	return sp
+}

@@ -1,0 +1,23 @@
+// Package wallbad reads the wall clock from simulator-scoped code;
+// every use below must be flagged by the wallclock analyzer.
+package wallbad
+
+import "time"
+
+// Deadline computes a poll deadline from the process clock.
+func Deadline(wait time.Duration) time.Time {
+	return time.Now().Add(wait)
+}
+
+// Park blocks on real timers instead of the injected clock.
+func Park() {
+	time.Sleep(time.Millisecond)
+	<-time.After(time.Millisecond)
+	t := time.NewTimer(time.Second)
+	t.Stop()
+}
+
+// Age measures elapsed wall time.
+func Age(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,24 @@
+// Package wallgood is simulator-scoped code that takes all time from
+// an injected clock.Clock; the wallclock analyzer must stay silent.
+package wallgood
+
+import (
+	"time"
+
+	"repro/internal/cloudsim/clock"
+)
+
+// Deadline computes a poll deadline on the injected timeline.
+func Deadline(clk clock.Clock, wait time.Duration) time.Time {
+	return clk.Now().Add(wait)
+}
+
+// Park blocks on the injected clock's timeline, not a real timer.
+func Park(clk clock.Clock, d time.Duration) time.Time {
+	return <-clock.After(clk, d)
+}
+
+// Age measures elapsed simulated time.
+func Age(clk clock.Clock, start time.Time) time.Duration {
+	return clk.Now().Sub(start)
+}

@@ -1,0 +1,21 @@
+// Package moneybad does money arithmetic outside internal/pricing;
+// the moneyfloat analyzer must flag the scaling and both float
+// conversions (addition stays legal — it is exact).
+package moneybad
+
+import "repro/internal/pricing"
+
+// Scale round-trips a Money through float64, losing nanodollar parity.
+func Scale(m pricing.Money, f float64) pricing.Money {
+	return pricing.Money(float64(m) * f)
+}
+
+// Half divides money outside the pricing package.
+func Half(m pricing.Money) pricing.Money {
+	return m / 2
+}
+
+// Total sums costs; exact, so not flagged.
+func Total(a, b pricing.Money) pricing.Money {
+	return a + b
+}

@@ -1,0 +1,20 @@
+// Package moneygood handles money only through the sanctioned
+// pricing.Money API; the moneyfloat analyzer must stay silent.
+package moneygood
+
+import "repro/internal/pricing"
+
+// Scale uses the rounding-aware method instead of raw float math.
+func Scale(m pricing.Money, f float64) pricing.Money {
+	return m.MulFloat(f)
+}
+
+// Total sums exact nanodollar amounts.
+func Total(a, b pricing.Money) pricing.Money {
+	return a + b
+}
+
+// Display renders dollars through the sanctioned accessor.
+func Display(m pricing.Money) string {
+	return m.String()
+}

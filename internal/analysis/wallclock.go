@@ -1,0 +1,64 @@
+package analysis
+
+import "go/types"
+
+// simScopes are the module subtrees that must stay on the injected
+// virtual timeline: the service simulators, the applications driven
+// through them, and the workload generators.
+var simScopes = []string{"internal/cloudsim", "internal/apps", "internal/workload"}
+
+// inSimScope reports whether pkgPath is simulator/app/workload code.
+func inSimScope(pkgPath string) bool {
+	for _, s := range simScopes {
+		if pathWithin(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// wallclockForbidden are the time-package functions that read or wait
+// on the process wall clock. Types (time.Time, time.Duration) and pure
+// constructors (time.Date, time.Unix) remain fine.
+var wallclockForbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// WallClock flags wall-clock reads in simulator, app, and workload
+// code. Everything outside internal/cloudsim/clock must take time from
+// an injected clock.Clock so a month of billing or a 20-second long
+// poll replays identically on a virtual timeline.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "simulator/app/workload code must read time through clock.Clock, never the time package's wall clock",
+	Run:  runWallClock,
+}
+
+func runWallClock(p *Pass) {
+	path := p.Pkg.Path
+	if !inSimScope(path) || pathWithin(path, "internal/cloudsim/clock") {
+		return
+	}
+	for ident, obj := range p.Pkg.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			continue
+		}
+		if fn.Type().(*types.Signature).Recv() != nil {
+			continue // methods on time.Time/Timer values are fine
+		}
+		if wallclockForbidden[fn.Name()] {
+			p.Reportf(ident.Pos(),
+				"time.%s reads the wall clock; take time from the injected clock.Clock (or clock.After) so virtual-timeline replay stays deterministic",
+				fn.Name())
+		}
+	}
+}

@@ -165,6 +165,10 @@ func (s *Service) Running(id string) bool {
 // failover: if the VM's region is down, the request fails — the
 // availability gap between the strawman and DIY.
 func (s *Service) Request(ctx *sim.Context, id, op string, body []byte) ([]byte, error) {
+	sp := ctx.StartSpan("ec2", "Request")
+	defer ctx.FinishSpan(sp)
+	sp.Annotate("instance", id)
+	sp.Annotate("op", op)
 	s.mu.Lock()
 	inst, ok := s.instances[id]
 	s.mu.Unlock()
@@ -172,9 +176,11 @@ func (s *Service) Request(ctx *sim.Context, id, op string, body []byte) ([]byte,
 		return nil, fmt.Errorf("ec2: %q: %w", id, ErrNoSuchInstance)
 	}
 	if !inst.running {
+		sp.Annotate("error", "stopped")
 		return nil, fmt.Errorf("ec2: %q: %w", id, ErrStopped)
 	}
 	if s.model != nil && !s.model.RegionUp(inst.Region) {
+		sp.Annotate("error", "region-down")
 		return nil, fmt.Errorf("ec2: %q in %s: %w", id, inst.Region, ErrRegionDown)
 	}
 	if s.model != nil && ctx != nil {

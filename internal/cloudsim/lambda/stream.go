@@ -102,6 +102,9 @@ func (p *Platform) OpenConnection(ctx *sim.Context, fnName string, suspendAfter 
 	if suspendAfter <= 0 {
 		suspendAfter = DefaultSuspendAfter
 	}
+	sp := ctx.StartSpan("lambda", "OpenConnection")
+	defer ctx.FinishSpan(sp)
+	sp.Annotate("function", fnName)
 	if ctx != nil {
 		ctx.Advance(p.sample(netsim.HopGatewayDispatch))
 		ctx.Advance(p.sample(netsim.HopColdStart))
@@ -140,6 +143,9 @@ func (c *Connection) Send(ctx *sim.Context, event Event) (Response, error) {
 	if c.state == ConnClosed {
 		return Response{}, ErrConnClosed
 	}
+	sp := ctx.StartSpan("lambda", "ConnectionSend")
+	defer ctx.FinishSpan(sp)
+	sp.Annotate("function", c.fn.Name)
 	now := c.platform.instant(ctx)
 	c.settleTo(now)
 
@@ -152,6 +158,7 @@ func (c *Connection) Send(ctx *sim.Context, event Event) (Response, error) {
 		c.resumes++
 		c.state = ConnActive
 		c.activeSince = c.platform.instant(ctx)
+		sp.Annotate("resumed", "true")
 	}
 
 	invCursor := sim.NewCursor(c.platform.instant(ctx))
@@ -165,6 +172,10 @@ func (c *Connection) Send(ctx *sim.Context, event Event) (Response, error) {
 			Region:        c.cont.region,
 			Cursor:        invCursor,
 			FunctionMemMB: c.fn.MemoryMB,
+			// Nest the handler's downstream hops under this send's
+			// span, so traced streaming flows attribute cost per hop
+			// exactly like regular invocations.
+			Span: sp,
 		},
 	}
 	resp, err := c.fn.Handler(env, event)

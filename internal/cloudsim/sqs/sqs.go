@@ -316,9 +316,13 @@ func (s *Service) receiveVirtual(ctx *sim.Context, name string, max int, wait ti
 	return got, nil
 }
 
-// receiveBlocking waits on the wall clock for messages.
+// receiveBlocking genuinely blocks until a message arrives or the wait
+// expires. All time flows through the injected clock: deadlines are
+// computed on s.clk's timeline and the poll parks on clock.After, so a
+// replay driven by a *clock.Virtual stays on the virtual timeline
+// (Advance releases the poll) instead of silently consuming real time.
 func (s *Service) receiveBlocking(ctx *sim.Context, name string, max int, wait time.Duration) ([]Message, error) {
-	deadline := time.Now().Add(wait)
+	deadline := s.clk.Now().Add(wait)
 	for {
 		s.mu.Lock()
 		q, ok := s.queues[name]
@@ -326,7 +330,7 @@ func (s *Service) receiveBlocking(ctx *sim.Context, name string, max int, wait t
 			s.mu.Unlock()
 			return nil, fmt.Errorf("sqs: %q: %w", name, ErrNoSuchQueue)
 		}
-		now := time.Now()
+		now := s.clk.Now()
 		if q.dlq != "" {
 			for i := 0; i < len(q.msgs); {
 				if q.msgs[i].receives >= q.maxReceives && !q.msgs[i].visibleAt.After(now) {
@@ -353,15 +357,13 @@ func (s *Service) receiveBlocking(ctx *sim.Context, name string, max int, wait t
 		if len(got) > 0 || wait == 0 {
 			return got, nil
 		}
-		remaining := time.Until(deadline)
+		remaining := deadline.Sub(now)
 		if remaining <= 0 {
 			return nil, nil
 		}
-		timer := time.NewTimer(remaining)
 		select {
 		case <-notify:
-			timer.Stop()
-		case <-timer.C:
+		case <-clock.After(s.clk, remaining):
 			return nil, nil
 		}
 	}

@@ -17,12 +17,13 @@ type fixture struct {
 	iam   *iam.Service
 	meter *pricing.Meter
 	sqs   *Service
+	clk   *clock.Virtual
 }
 
 func newFixture(t *testing.T) *fixture {
 	t.Helper()
-	f := &fixture{iam: iam.New(), meter: pricing.NewMeter()}
-	f.sqs = New(f.iam, f.meter, netsim.NewDefaultModel(), clock.NewVirtual())
+	f := &fixture{iam: iam.New(), meter: pricing.NewMeter(), clk: clock.NewVirtual()}
+	f.sqs = New(f.iam, f.meter, netsim.NewDefaultModel(), f.clk)
 	if err := f.sqs.CreateQueue("alice-inbox"); err != nil {
 		t.Fatal(err)
 	}
@@ -271,14 +272,28 @@ func TestBlockingReceiveDeliversOnSend(t *testing.T) {
 }
 
 func TestBlockingReceiveTimesOut(t *testing.T) {
+	// The blocking path now parks on the injected clock, so an empty
+	// poll resolves by advancing virtual time — deterministically, with
+	// no real waiting.
 	f := newFixture(t)
-	start := time.Now()
-	got, err := f.sqs.Receive(f.wctx(), "alice-inbox", 1, 50*time.Millisecond)
-	if err != nil || got != nil {
-		t.Fatalf("got %v, %v", got, err)
+	start := f.clk.Now()
+	done := make(chan struct{})
+	var got []Message
+	var rerr error
+	go func() {
+		defer close(done)
+		got, rerr = f.sqs.Receive(f.wctx(), "alice-inbox", 1, 50*time.Millisecond)
+	}()
+	for f.clk.Waiters() == 0 {
+		time.Sleep(time.Millisecond) // let the poller park on the clock
 	}
-	if time.Since(start) < 50*time.Millisecond {
-		t.Fatal("blocking receive returned before the wait elapsed")
+	f.clk.Advance(50 * time.Millisecond)
+	<-done
+	if rerr != nil || got != nil {
+		t.Fatalf("got %v, %v", got, rerr)
+	}
+	if elapsed := f.clk.Now().Sub(start); elapsed != 50*time.Millisecond {
+		t.Fatalf("poll consumed %v of virtual time, want 50ms", elapsed)
 	}
 }
 

@@ -117,8 +117,12 @@ func RunTable3(cfg Table3Config) (*Table3, error) {
 		if len(msgs) != 1 {
 			return nil, fmt.Errorf("table3 receive %d: got %d messages", i, len(msgs))
 		}
+		// Causality check on the simulated timeline: Bob's decrypted
+		// delivery can never precede the instant Alice's send completed.
+		if delivered := pollCtx.Cursor.Now(); delivered.Before(sentAt) {
+			return nil, fmt.Errorf("table3 receive %d: delivered at %v before send completed at %v", i, delivered, sentAt)
+		}
 		e2e = append(e2e, pollCtx.Cursor.Now().Sub(sendStart))
-		_ = sentAt
 	}
 
 	fn, _ := cloud.Lambda.Function(d.FnName)

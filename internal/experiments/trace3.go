@@ -153,7 +153,6 @@ func RunTrace3(sends int, seed int64) (*Trace3, error) {
 			MedTotal: nearestRankDur(perService[svc], 50),
 		})
 	}
-	_ = bob
 	return out, nil
 }
 

@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 echo ">> go vet ./..."
 go vet ./...
 
+echo ">> diylint ./... (domain invariants: wallclock, globalrand, moneyfloat, spanhygiene, droppederr)"
+go run ./cmd/diylint ./...
+
 echo ">> go test -race ./..."
 go test -race ./...
 
