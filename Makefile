@@ -14,8 +14,9 @@ vet:
 	$(GO) vet ./...
 
 # lint runs diylint, the repo's domain-invariant analyzer suite
-# (wallclock, globalrand, moneyfloat, spanhygiene, droppederr).
-# Deliberate findings live in .diylint-allow with a justification.
+# (wallclock, globalrand, moneyfloat, spanhygiene, planeroute,
+# droppederr). Deliberate findings live in .diylint-allow with a
+# justification.
 lint:
 	$(GO) run ./cmd/diylint ./...
 

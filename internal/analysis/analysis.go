@@ -12,6 +12,9 @@
 //     only inside internal/pricing, preserving nanodollar parity;
 //   - spanhygiene: exported service methods that accept a *sim.Context
 //     touch the span API, so trace coverage cannot silently regress;
+//   - planeroute: exported service methods that accept a *sim.Context
+//     route their calls through plane.Do, so no service can bypass the
+//     unified trace/auth/latency/meter pipeline;
 //   - droppederr: internal/cloudsim never discards an error with `_ =`.
 //
 // The driver is stdlib-only (go/ast, go/parser, go/types): the repo is
@@ -81,6 +84,7 @@ func Analyzers() []*Analyzer {
 		GlobalRand,
 		MoneyFloat,
 		SpanHygiene,
+		PlaneRoute,
 		DroppedErr,
 	}
 }

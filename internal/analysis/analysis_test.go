@@ -31,6 +31,8 @@ var fixtureDirs = []string{
 	"internal/cloudsim/randgood",
 	"internal/cloudsim/spanbad",
 	"internal/cloudsim/spangood",
+	"internal/cloudsim/planebad",
+	"internal/cloudsim/planegood",
 	"internal/cloudsim/errbad",
 	"internal/cloudsim/errgood",
 	"moneybad",
@@ -79,6 +81,7 @@ var goldenCases = []struct {
 	{GlobalRand, "internal/cloudsim/randbad", "internal/cloudsim/randgood"},
 	{MoneyFloat, "moneybad", "moneygood"},
 	{SpanHygiene, "internal/cloudsim/spanbad", "internal/cloudsim/spangood"},
+	{PlaneRoute, "internal/cloudsim/planebad", "internal/cloudsim/planegood"},
 	{DroppedErr, "internal/cloudsim/errbad", "internal/cloudsim/errgood"},
 }
 

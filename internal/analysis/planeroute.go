@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PlaneRoute guards the request-plane unification: every exported
+// cloudsim service method that accepts a *sim.Context must route the
+// call through plane.Do — directly or via a same-package helper — so
+// the fixed trace/auth/latency/meter pipeline cannot be bypassed by a
+// service quietly reverting to a bespoke begin path. Deliberate
+// exceptions (e.g. the lambda connection suspend/billing paths, whose
+// accounting is per-connection rather than per-call) carry a
+// .diylint-allow justification.
+var PlaneRoute = &Analyzer{
+	Name: "planeroute",
+	Doc:  "exported cloudsim service methods taking *sim.Context must route calls through plane.Do",
+	Run:  runPlaneRoute,
+}
+
+func runPlaneRoute(p *Pass) {
+	path := p.Pkg.Path
+	if !pathWithin(path, "internal/cloudsim") {
+		return
+	}
+	// The plane is the pipeline itself, and the sim/trace substrate is
+	// what the pipeline is built from; none of them route through Do.
+	if strings.HasSuffix(path, "internal/cloudsim/sim") ||
+		strings.HasSuffix(path, "internal/cloudsim/trace") ||
+		strings.HasSuffix(path, "internal/cloudsim/plane") {
+		return
+	}
+
+	type fnInfo struct {
+		decl    *ast.FuncDecl
+		routes  bool
+		callees []*types.Func
+	}
+	infos := make(map[*types.Func]*fnInfo)
+	for _, file := range p.Pkg.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			obj, ok := p.Pkg.Info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &fnInfo{decl: decl}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(p.Pkg.Info, call)
+				if callee == nil || callee.Pkg() == nil {
+					return true
+				}
+				switch {
+				case callee.Name() == "Do" && strings.HasSuffix(callee.Pkg().Path(), "internal/cloudsim/plane"):
+					fi.routes = true
+				case callee.Pkg() == p.Pkg.Types:
+					fi.callees = append(fi.callees, callee)
+				}
+				return true
+			})
+			infos[obj] = fi
+		}
+	}
+
+	// Propagate routing through same-package calls to a fixpoint, so
+	// wrappers like kms.do or dynamo.put count for their callers.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range infos {
+			if fi.routes {
+				continue
+			}
+			for _, c := range fi.callees {
+				if ci, ok := infos[c]; ok && ci.routes {
+					fi.routes = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for obj, fi := range infos {
+		decl := fi.decl
+		if fi.routes || decl.Recv == nil || !decl.Name.IsExported() {
+			continue
+		}
+		if !hasSimContextParam(p.Pkg.Info, decl) {
+			continue
+		}
+		p.Reportf(decl.Name.Pos(),
+			"exported method %s accepts a *sim.Context but never routes through plane.Do; service calls must pass the request plane (trace, auth, latency, metering) or carry a .diylint-allow justification",
+			obj.Name())
+	}
+}

@@ -1,0 +1,18 @@
+// Package planebad exports a simulated-service method that accepts a
+// *sim.Context but handles the call with a bespoke span/latency path
+// instead of routing through plane.Do; planeroute must flag it.
+package planebad
+
+import "repro/internal/cloudsim/sim"
+
+// Service is a simulated service that bypasses the request plane.
+type Service struct{}
+
+// Get opens its own span and advances the timeline by hand — the old
+// per-service `begin` pattern the plane replaced.
+func (s *Service) Get(ctx *sim.Context, key string) string {
+	sp := ctx.StartSpan("planebad", "Get")
+	defer ctx.FinishSpan(sp)
+	ctx.Advance(0)
+	return key
+}

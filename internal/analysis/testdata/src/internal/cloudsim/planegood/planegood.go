@@ -1,0 +1,34 @@
+// Package planegood exports simulated-service methods that route their
+// calls through the request plane, directly and through an unexported
+// helper; planeroute must stay silent.
+package planegood
+
+import (
+	"repro/internal/cloudsim/plane"
+	"repro/internal/cloudsim/sim"
+)
+
+// Service is a simulated service on the request plane.
+type Service struct {
+	pl *plane.Plane
+}
+
+// Get routes through the plane directly.
+func (s *Service) Get(ctx *sim.Context, key string) error {
+	return s.pl.Do(ctx, &plane.Call{Service: "planegood", Op: "Get"}, func(*plane.Request) error {
+		return nil
+	})
+}
+
+// Put reaches the plane through an unexported helper, the delegation
+// pattern kms and dynamo use.
+func (s *Service) Put(ctx *sim.Context, key string) error {
+	return s.do(ctx, "Put")
+}
+
+// do is the shared routing helper.
+func (s *Service) do(ctx *sim.Context, op string) error {
+	return s.pl.Do(ctx, &plane.Call{Service: "planegood", Op: op}, func(*plane.Request) error {
+		return nil
+	})
+}

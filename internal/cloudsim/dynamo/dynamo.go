@@ -18,11 +18,24 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cloudsim/clock"
 	"repro/internal/cloudsim/iam"
 	"repro/internal/cloudsim/netsim"
+	"repro/internal/cloudsim/plane"
 	"repro/internal/cloudsim/sim"
+	"repro/internal/cloudsim/trace"
 	"repro/internal/pricing"
 )
+
+func init() {
+	plane.Register(
+		plane.Op{Service: "dynamo", Method: "Get", Action: ActionGet},
+		plane.Op{Service: "dynamo", Method: "Put", Action: ActionPut},
+		plane.Op{Service: "dynamo", Method: "PutIfVersion", Action: ActionPut},
+		plane.Op{Service: "dynamo", Method: "Delete", Action: ActionDelete},
+		plane.Op{Service: "dynamo", Method: "Query", Action: ActionQuery},
+	)
+}
 
 // Actions checked against IAM.
 const (
@@ -65,18 +78,49 @@ type table struct {
 
 // Service is the simulated table store. It is safe for concurrent use.
 type Service struct {
-	iam   *iam.Service
-	meter *pricing.Meter
-	model *netsim.Model
+	pl  *plane.Plane
+	clk clock.Clock
 
 	mu     sync.Mutex
 	tables map[string]*table
 }
 
-// New returns a table store wired to IAM, the meter and the network
-// model.
-func New(iamSvc *iam.Service, meter *pricing.Meter, model *netsim.Model) *Service {
-	return &Service{iam: iamSvc, meter: meter, model: model, tables: make(map[string]*table)}
+// New returns a table store wired to IAM, the meter, the network model
+// and a clock (nil defaults to the wall clock) used for item
+// modification timestamps on flows that carry no simulated timeline.
+func New(iamSvc *iam.Service, meter *pricing.Meter, model *netsim.Model, clk clock.Clock) *Service {
+	if clk == nil {
+		clk = clock.Wall{}
+	}
+	return &Service{
+		pl:     plane.New(iamSvc, meter, model),
+		clk:    clk,
+		tables: make(map[string]*table),
+	}
+}
+
+// Plane exposes the service's request plane so wiring code can attach
+// interceptors around every op.
+func (s *Service) Plane() *plane.Plane { return s.pl }
+
+// call builds the plane descriptor for one table op: a quarter of an
+// S3 hop with the same memory coupling, priced in capacity units.
+func call(action, tableName string, rcu, wcu float64) *plane.Call {
+	c := &plane.Call{
+		Service:     "dynamo",
+		Op:          action,
+		Action:      action,
+		Resource:    Resource(tableName),
+		Annotations: []trace.Annotation{{Key: "table", Value: tableName}},
+		Latency:     &plane.Latency{Hop: netsim.HopS3, Scale: 0.25, MemoryCoupled: true},
+	}
+	if rcu > 0 {
+		c.Usage = append(c.Usage, pricing.Usage{Kind: pricing.DynamoRCU, Quantity: rcu})
+	}
+	if wcu > 0 {
+		c.Usage = append(c.Usage, pricing.Usage{Kind: pricing.DynamoWCU, Quantity: wcu})
+	}
+	return c
 }
 
 // Resource returns the IAM resource string for a table.
@@ -139,22 +183,27 @@ func (s *Service) Get(ctx *sim.Context, tableName, key string) (*Item, error) {
 		}
 	}
 	s.mu.Unlock()
-	if err := s.begin(ctx, ActionGet, tableName, readUnits(size), 0); err != nil {
+	var out *Item
+	err := s.pl.Do(ctx, call(ActionGet, tableName, readUnits(size), 0), func(*plane.Request) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		t, ok := s.tables[tableName]
+		if !ok {
+			return fmt.Errorf("dynamo: %q: %w", tableName, ErrNoSuchTable)
+		}
+		it, ok := t.items[key]
+		if !ok {
+			return fmt.Errorf("dynamo: %s/%s: %w", tableName, key, ErrNoSuchItem)
+		}
+		cp := *it
+		cp.Value = append([]byte(nil), it.Value...)
+		out = &cp
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.tables[tableName]
-	if !ok {
-		return nil, fmt.Errorf("dynamo: %q: %w", tableName, ErrNoSuchTable)
-	}
-	it, ok := t.items[key]
-	if !ok {
-		return nil, fmt.Errorf("dynamo: %s/%s: %w", tableName, key, ErrNoSuchItem)
-	}
-	cp := *it
-	cp.Value = append([]byte(nil), it.Value...)
-	return &cp, nil
+	return out, nil
 }
 
 // Put stores an item unconditionally.
@@ -170,79 +219,80 @@ func (s *Service) PutIfVersion(ctx *sim.Context, tableName, key string, value []
 }
 
 func (s *Service) put(ctx *sim.Context, tableName, key string, value []byte, expect int64) error {
-	if err := s.begin(ctx, ActionPut, tableName, 0, writeUnits(len(value))); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.tables[tableName]
-	if !ok {
-		return fmt.Errorf("dynamo: %q: %w", tableName, ErrNoSuchTable)
-	}
-	if t.requireSealed && !t.sealedCheck(value) {
-		return fmt.Errorf("dynamo: %s/%s: %w", tableName, key, ErrPlaintextRejected)
-	}
-	cur, exists := t.items[key]
-	if expect >= 0 {
-		switch {
-		case expect == 0 && exists:
-			return fmt.Errorf("dynamo: %s/%s exists (version %d): %w", tableName, key, cur.Version, ErrConditionFailed)
-		case expect > 0 && (!exists || cur.Version != expect):
-			got := int64(0)
-			if exists {
-				got = cur.Version
-			}
-			return fmt.Errorf("dynamo: %s/%s version %d != %d: %w", tableName, key, got, expect, ErrConditionFailed)
+	return s.pl.Do(ctx, call(ActionPut, tableName, 0, writeUnits(len(value))), func(*plane.Request) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		t, ok := s.tables[tableName]
+		if !ok {
+			return fmt.Errorf("dynamo: %q: %w", tableName, ErrNoSuchTable)
 		}
-	}
-	t.version++
-	t.items[key] = &Item{
-		Key:     key,
-		Value:   append([]byte(nil), value...),
-		Version: t.version,
-		Modified: func() time.Time {
-			if ctx != nil && ctx.Cursor != nil {
-				return ctx.Cursor.Now()
+		if t.requireSealed && !t.sealedCheck(value) {
+			return fmt.Errorf("dynamo: %s/%s: %w", tableName, key, ErrPlaintextRejected)
+		}
+		cur, exists := t.items[key]
+		if expect >= 0 {
+			switch {
+			case expect == 0 && exists:
+				return fmt.Errorf("dynamo: %s/%s exists (version %d): %w", tableName, key, cur.Version, ErrConditionFailed)
+			case expect > 0 && (!exists || cur.Version != expect):
+				got := int64(0)
+				if exists {
+					got = cur.Version
+				}
+				return fmt.Errorf("dynamo: %s/%s version %d != %d: %w", tableName, key, got, expect, ErrConditionFailed)
 			}
-			return time.Time{}
-		}(),
-	}
-	return nil
+		}
+		t.version++
+		t.items[key] = &Item{
+			Key:     key,
+			Value:   append([]byte(nil), value...),
+			Version: t.version,
+			Modified: func() time.Time {
+				if ctx != nil && ctx.Cursor != nil {
+					return ctx.Cursor.Now()
+				}
+				return s.clk.Now()
+			}(),
+		}
+		return nil
+	})
 }
 
 // Delete removes an item; deleting an absent key is a no-op.
 func (s *Service) Delete(ctx *sim.Context, tableName, key string) error {
-	if err := s.begin(ctx, ActionDelete, tableName, 0, 1); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.tables[tableName]
-	if !ok {
-		return fmt.Errorf("dynamo: %q: %w", tableName, ErrNoSuchTable)
-	}
-	delete(t.items, key)
-	return nil
+	return s.pl.Do(ctx, call(ActionDelete, tableName, 0, 1), func(*plane.Request) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		t, ok := s.tables[tableName]
+		if !ok {
+			return fmt.Errorf("dynamo: %q: %w", tableName, ErrNoSuchTable)
+		}
+		delete(t.items, key)
+		return nil
+	})
 }
 
 // Query returns the keys with the given prefix, sorted.
 func (s *Service) Query(ctx *sim.Context, tableName, prefix string) ([]string, error) {
-	if err := s.begin(ctx, ActionQuery, tableName, 1, 0); err != nil {
+	var keys []string
+	err := s.pl.Do(ctx, call(ActionQuery, tableName, 1, 0), func(*plane.Request) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		t, ok := s.tables[tableName]
+		if !ok {
+			return fmt.Errorf("dynamo: %q: %w", tableName, ErrNoSuchTable)
+		}
+		for k := range t.items {
+			if strings.HasPrefix(k, prefix) {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.tables[tableName]
-	if !ok {
-		return nil, fmt.Errorf("dynamo: %q: %w", tableName, ErrNoSuchTable)
-	}
-	var keys []string
-	for k := range t.items {
-		if strings.HasPrefix(k, prefix) {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
 	return keys, nil
 }
 
@@ -260,46 +310,6 @@ func (s *Service) StorageBytes(tableName string) int64 {
 		}
 	}
 	return total
-}
-
-// begin traces the call, applies latency, meters capacity units, and
-// authorizes.
-func (s *Service) begin(ctx *sim.Context, action, tableName string, rcu, wcu float64) error {
-	sp := ctx.StartSpan("dynamo", action)
-	defer ctx.FinishSpan(sp)
-	sp.Annotate("table", tableName)
-	if s.model != nil && ctx != nil {
-		// DynamoDB's per-call latency: a fraction of an S3 call, with
-		// the same memory coupling for function callers.
-		base := s.model.Sample(netsim.HopS3) / 4
-		if ctx.FunctionMemMB > 0 {
-			base = time.Duration(float64(base) * netsim.MemoryLatencyFactor(ctx.FunctionMemMB, 448))
-		}
-		ctx.Advance(base)
-	}
-	var app string
-	if ctx != nil {
-		app = ctx.App
-	}
-	if rcu > 0 {
-		usage := pricing.Usage{Kind: pricing.DynamoRCU, Quantity: rcu, App: app}
-		s.meter.Add(usage)
-		sp.AddUsage(usage)
-	}
-	if wcu > 0 {
-		usage := pricing.Usage{Kind: pricing.DynamoWCU, Quantity: wcu, App: app}
-		s.meter.Add(usage)
-		sp.AddUsage(usage)
-	}
-	principal := ""
-	if ctx != nil {
-		principal = ctx.Principal
-	}
-	err := s.iam.Authorize(principal, action, Resource(tableName))
-	if err != nil {
-		sp.Annotate("error", "access-denied")
-	}
-	return err
 }
 
 func readUnits(bytes int) float64 {

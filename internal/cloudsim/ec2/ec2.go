@@ -19,9 +19,17 @@ import (
 
 	"repro/internal/cloudsim/clock"
 	"repro/internal/cloudsim/netsim"
+	"repro/internal/cloudsim/plane"
 	"repro/internal/cloudsim/sim"
+	"repro/internal/cloudsim/trace"
 	"repro/internal/pricing"
 )
+
+func init() {
+	// A VM request authenticates at the application layer (the hosted
+	// handler), not via IAM.
+	plane.Register(plane.Op{Service: "ec2", Method: "Request", Action: ""})
+}
 
 // InstanceType describes a VM size.
 type InstanceType struct {
@@ -65,7 +73,8 @@ type Instance struct {
 // Service is the simulated VM platform. It is safe for concurrent use.
 type Service struct {
 	meter *pricing.Meter
-	model *netsim.Model
+	pl    *plane.Plane
+	model *netsim.Model // availability checks + conditional latency
 	clk   clock.Clock
 
 	mu        sync.Mutex
@@ -78,8 +87,18 @@ func New(meter *pricing.Meter, model *netsim.Model, clk clock.Clock) *Service {
 	if clk == nil {
 		clk = clock.Wall{}
 	}
-	return &Service{meter: meter, model: model, clk: clk, instances: make(map[string]*Instance)}
+	return &Service{
+		meter:     meter,
+		pl:        plane.New(nil, meter, model),
+		model:     model,
+		clk:       clk,
+		instances: make(map[string]*Instance),
+	}
 }
+
+// Plane exposes the service's request plane so wiring code can attach
+// interceptors around every request.
+func (s *Service) Plane() *plane.Plane { return s.pl }
 
 // Launch starts a VM of the given type. at is the launch instant on the
 // simulated timeline (pass the flow's cursor time, or the clock's now).
@@ -165,31 +184,45 @@ func (s *Service) Running(id string) bool {
 // failover: if the VM's region is down, the request fails — the
 // availability gap between the strawman and DIY.
 func (s *Service) Request(ctx *sim.Context, id, op string, body []byte) ([]byte, error) {
-	sp := ctx.StartSpan("ec2", "Request")
-	defer ctx.FinishSpan(sp)
-	sp.Annotate("instance", id)
-	sp.Annotate("op", op)
-	s.mu.Lock()
-	inst, ok := s.instances[id]
-	s.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("ec2: %q: %w", id, ErrNoSuchInstance)
+	var out []byte
+	// Latency is conditional on the instance being reachable, so it
+	// stays in the handler (Call.Latency nil).
+	err := s.pl.Do(ctx, &plane.Call{
+		Service: "ec2",
+		Op:      "Request",
+		Annotations: []trace.Annotation{
+			{Key: "instance", Value: id},
+			{Key: "op", Value: op},
+		},
+	}, func(req *plane.Request) error {
+		s.mu.Lock()
+		inst, ok := s.instances[id]
+		s.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("ec2: %q: %w", id, ErrNoSuchInstance)
+		}
+		if !inst.running {
+			req.Span.Annotate("error", "stopped")
+			return fmt.Errorf("ec2: %q: %w", id, ErrStopped)
+		}
+		if s.model != nil && !s.model.RegionUp(inst.Region) {
+			req.Span.Annotate("error", "region-down")
+			return fmt.Errorf("ec2: %q in %s: %w", id, inst.Region, ErrRegionDown)
+		}
+		if s.model != nil && ctx != nil {
+			ctx.Advance(s.model.Sample(netsim.HopClientGateway))
+		}
+		if inst.Handler == nil {
+			return nil
+		}
+		var herr error
+		out, herr = inst.Handler(ctx, op, body)
+		return herr
+	})
+	if err != nil {
+		return nil, err
 	}
-	if !inst.running {
-		sp.Annotate("error", "stopped")
-		return nil, fmt.Errorf("ec2: %q: %w", id, ErrStopped)
-	}
-	if s.model != nil && !s.model.RegionUp(inst.Region) {
-		sp.Annotate("error", "region-down")
-		return nil, fmt.Errorf("ec2: %q in %s: %w", id, inst.Region, ErrRegionDown)
-	}
-	if s.model != nil && ctx != nil {
-		ctx.Advance(s.model.Sample(netsim.HopClientGateway))
-	}
-	if inst.Handler == nil {
-		return nil, nil
-	}
-	return inst.Handler(ctx, op, body)
+	return out, nil
 }
 
 // MeterTransferOut bills internet egress from a VM (e.g. the video

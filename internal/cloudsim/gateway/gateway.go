@@ -20,9 +20,16 @@ import (
 	"repro/internal/cloudsim/clock"
 	"repro/internal/cloudsim/lambda"
 	"repro/internal/cloudsim/netsim"
+	"repro/internal/cloudsim/plane"
 	"repro/internal/cloudsim/sim"
 	"repro/internal/pricing"
 )
+
+func init() {
+	// Gateway ingress authenticates at the application layer (TLS +
+	// app-level auth inside the function), not via IAM.
+	plane.Register(plane.Op{Service: "gateway", Method: "Handle", Action: ""})
+}
 
 // Errors returned by the gateway.
 var (
@@ -62,8 +69,8 @@ type endpoint struct {
 // Service is the simulated API gateway. It is safe for concurrent use.
 type Service struct {
 	platform *lambda.Platform
-	meter    *pricing.Meter
-	model    *netsim.Model
+	pl       *plane.Plane
+	model    *netsim.Model // per-leg samples inside the handler
 	clk      clock.Clock
 
 	mu        sync.Mutex
@@ -78,12 +85,16 @@ func New(platform *lambda.Platform, meter *pricing.Meter, model *netsim.Model, c
 	}
 	return &Service{
 		platform:  platform,
-		meter:     meter,
+		pl:        plane.New(nil, meter, model),
 		model:     model,
 		clk:       clk,
 		endpoints: make(map[string]*endpoint),
 	}
 }
+
+// Plane exposes the gateway's request plane so wiring code can attach
+// interceptors around every request.
+func (s *Service) Plane() *plane.Plane { return s.pl }
 
 // RegisterEndpoint routes HTTPS requests for path to a function, with
 // an optional throttle.
@@ -142,65 +153,70 @@ func (s *Service) Throttled() int64 {
 // throttle, and the function invocation, metering the response payload
 // as internet transfer out for external callers.
 func (s *Service) Handle(ctx *sim.Context, req Request) (lambda.Response, lambda.InvocationStats, error) {
-	sp, done := ctx.PushSpan("gateway", req.Path)
-	defer done()
-	now := s.instant(ctx)
-	s.mu.Lock()
-	ep, ok := s.endpoints[req.Path]
-	if !ok {
+	var resp lambda.Response
+	var stats lambda.InvocationStats
+	// The throttle runs before any latency is paid and the two wire
+	// legs bracket the invocation, so the whole call body is the
+	// handler stage: the plane contributes the span and the seam.
+	err := s.pl.Do(ctx, &plane.Call{Service: "gateway", Op: req.Path, Nest: true}, func(preq *plane.Request) error {
+		sp := preq.Span
+		now := s.instant(ctx)
+		s.mu.Lock()
+		ep, ok := s.endpoints[req.Path]
+		if !ok {
+			s.mu.Unlock()
+			sp.Annotate("error", "no-such-endpoint")
+			return fmt.Errorf("gateway: %q: %w", req.Path, ErrNoSuchEndpoint)
+		}
+		if !ep.take(now) {
+			s.throttled++
+			ep.rejected++
+			s.mu.Unlock()
+			sp.Annotate("error", "throttled")
+			resp = lambda.Response{Status: http.StatusTooManyRequests}
+			return fmt.Errorf("gateway: %q: %w", req.Path, ErrThrottled)
+		}
+		ep.requests++
+		fnName := ep.fnName
 		s.mu.Unlock()
-		sp.Annotate("error", "no-such-endpoint")
-		return lambda.Response{}, lambda.InvocationStats{}, fmt.Errorf("gateway: %q: %w", req.Path, ErrNoSuchEndpoint)
-	}
-	if !ep.take(now) {
-		s.throttled++
-		ep.rejected++
-		s.mu.Unlock()
-		sp.Annotate("error", "throttled")
-		return lambda.Response{Status: http.StatusTooManyRequests}, lambda.InvocationStats{},
-			fmt.Errorf("gateway: %q: %w", req.Path, ErrThrottled)
-	}
-	ep.requests++
-	fnName := ep.fnName
-	s.mu.Unlock()
 
-	// Client -> gateway leg (TLS-protected on the real platform).
-	if s.model != nil && ctx != nil {
-		ctx.Advance(s.model.Sample(netsim.HopClientGateway))
-	}
-
-	resp, stats, err := s.platform.Invoke(ctx, fnName, lambda.Event{
-		Source: "https",
-		Path:   req.Path,
-		Op:     req.Op,
-		Body:   req.Body,
-		Attrs:  req.Attrs,
-	})
-	s.mu.Lock()
-	if e, ok := s.endpoints[req.Path]; ok {
-		e.totalTime += stats.RunTime
-	}
-	s.mu.Unlock()
-	if err != nil {
-		return resp, stats, err
-	}
-
-	// Gateway -> client leg plus egress billing.
-	if ctx != nil && ctx.External {
-		if s.model != nil {
+		// Client -> gateway leg (TLS-protected on the real platform).
+		if s.model != nil && ctx != nil {
 			ctx.Advance(s.model.Sample(netsim.HopClientGateway))
 		}
-		if n := len(resp.Body); n > 0 {
-			usage := pricing.Usage{
-				Kind:     pricing.TransferOutGB,
-				Quantity: float64(n) / 1e9,
-				App:      ctx.App,
-			}
-			s.meter.Add(usage)
-			sp.AddUsage(usage)
+
+		var err error
+		resp, stats, err = s.platform.Invoke(ctx, fnName, lambda.Event{
+			Source: "https",
+			Path:   req.Path,
+			Op:     req.Op,
+			Body:   req.Body,
+			Attrs:  req.Attrs,
+		})
+		s.mu.Lock()
+		if e, ok := s.endpoints[req.Path]; ok {
+			e.totalTime += stats.RunTime
 		}
-	}
-	return resp, stats, nil
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+
+		// Gateway -> client leg plus egress billing.
+		if ctx != nil && ctx.External {
+			if s.model != nil {
+				ctx.Advance(s.model.Sample(netsim.HopClientGateway))
+			}
+			if n := len(resp.Body); n > 0 {
+				preq.MeterUsage(pricing.Usage{
+					Kind:     pricing.TransferOutGB,
+					Quantity: float64(n) / 1e9,
+				})
+			}
+		}
+		return nil
+	})
+	return resp, stats, err
 }
 
 // take consumes one token, refilling by elapsed time since the last

@@ -18,12 +18,24 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cloudsim/clock"
 	"repro/internal/cloudsim/iam"
 	"repro/internal/cloudsim/netsim"
+	"repro/internal/cloudsim/plane"
 	"repro/internal/cloudsim/sim"
+	"repro/internal/cloudsim/trace"
 	"repro/internal/crypto/envelope"
 	"repro/internal/pricing"
 )
+
+func init() {
+	plane.Register(
+		plane.Op{Service: "kms", Method: "GenerateDataKey", Action: ActionGenerateDataKey},
+		plane.Op{Service: "kms", Method: "Decrypt", Action: ActionDecrypt},
+		plane.Op{Service: "kms", Method: "ReWrap", Action: ActionGenerateDataKey},
+		plane.Op{Service: "kms", Method: "ImportWrapped", Action: ActionGenerateDataKey},
+	)
+}
 
 // Actions checked against IAM.
 const (
@@ -55,24 +67,33 @@ type masterKey struct {
 
 // Service is the simulated KMS. It is safe for concurrent use.
 type Service struct {
-	iam   *iam.Service
 	meter *pricing.Meter
-	model *netsim.Model
+	pl    *plane.Plane
+	clk   clock.Clock
 
 	mu    sync.Mutex
 	keys  map[string]*masterKey
 	audit []AuditEntry
 }
 
-// New returns a KMS wired to the given IAM, meter and network model.
-func New(iamSvc *iam.Service, meter *pricing.Meter, model *netsim.Model) *Service {
+// New returns a KMS wired to the given IAM, meter, network model and
+// clock (nil defaults to the wall clock); the clock timestamps audit
+// entries for calls that carry no simulated timeline.
+func New(iamSvc *iam.Service, meter *pricing.Meter, model *netsim.Model, clk clock.Clock) *Service {
+	if clk == nil {
+		clk = clock.Wall{}
+	}
 	return &Service{
-		iam:   iamSvc,
 		meter: meter,
-		model: model,
+		pl:    plane.New(iamSvc, meter, model),
+		clk:   clk,
 		keys:  make(map[string]*masterKey),
 	}
 }
+
+// Plane exposes the service's request plane so wiring code can attach
+// interceptors around every op.
+func (s *Service) Plane() *plane.Plane { return s.pl }
 
 // CreateKey provisions a master key with the given id. Customer-managed
 // keys carry the monthly per-key charge; provider-managed default keys
@@ -129,22 +150,26 @@ func Resource(keyID string) string { return "key/" + keyID }
 // master key (for storage alongside the ciphertext). Requires
 // kms:GenerateDataKey on the key.
 func (s *Service) GenerateDataKey(ctx *sim.Context, keyID string) (plaintext, wrapped []byte, err error) {
-	if err := s.begin(ctx, ActionGenerateDataKey, keyID); err != nil {
-		return nil, nil, err
-	}
-	mk, err := s.lookup(keyID)
+	err = s.do(ctx, ActionGenerateDataKey, keyID, func(*plane.Request) error {
+		mk, lerr := s.lookup(keyID)
+		if lerr != nil {
+			return lerr
+		}
+		dk, derr := envelope.NewDataKey()
+		if derr != nil {
+			return derr
+		}
+		w, werr := s.wrap(mk, dk)
+		if werr != nil {
+			return werr
+		}
+		plaintext, wrapped = dk, w
+		return nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	dk, err := envelope.NewDataKey()
-	if err != nil {
-		return nil, nil, err
-	}
-	w, err := s.wrap(mk, dk)
-	if err != nil {
-		return nil, nil, err
-	}
-	return dk, w, nil
+	return plaintext, wrapped, nil
 }
 
 // Decrypt unwraps a data key blob produced by GenerateDataKey. The key
@@ -155,16 +180,21 @@ func (s *Service) Decrypt(ctx *sim.Context, wrapped []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := s.begin(ctx, ActionDecrypt, keyID); err != nil {
-		return nil, err
-	}
-	mk, err := s.lookup(keyID)
+	var dk []byte
+	err = s.do(ctx, ActionDecrypt, keyID, func(*plane.Request) error {
+		mk, lerr := s.lookup(keyID)
+		if lerr != nil {
+			return lerr
+		}
+		d, oerr := envelope.Open(mk.material, sealed, []byte("kms:"+keyID))
+		if oerr != nil {
+			return fmt.Errorf("kms: unwrapping data key: %w", oerr)
+		}
+		dk = d
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	dk, err := envelope.Open(mk.material, sealed, []byte("kms:"+keyID))
-	if err != nil {
-		return nil, fmt.Errorf("kms: unwrapping data key: %w", err)
 	}
 	return dk, nil
 }
@@ -179,27 +209,45 @@ func (s *Service) ReWrap(ctx *sim.Context, wrapped []byte, newKeyID string) ([]b
 		return nil, err
 	}
 	defer envelope.Zero(dk)
-	if err := s.begin(ctx, ActionGenerateDataKey, newKeyID); err != nil {
-		return nil, err
-	}
-	mk, err := s.lookup(newKeyID)
+	var out []byte
+	err = s.do(ctx, ActionGenerateDataKey, newKeyID, func(*plane.Request) error {
+		mk, lerr := s.lookup(newKeyID)
+		if lerr != nil {
+			return lerr
+		}
+		w, werr := s.wrap(mk, dk)
+		if werr != nil {
+			return werr
+		}
+		out = w
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return s.wrap(mk, dk)
+	return out, nil
 }
 
 // ImportWrapped wraps an externally supplied data key under a master
 // key. Cross-cloud migration uses it on the destination side.
 func (s *Service) ImportWrapped(ctx *sim.Context, dataKey []byte, keyID string) ([]byte, error) {
-	if err := s.begin(ctx, ActionGenerateDataKey, keyID); err != nil {
-		return nil, err
-	}
-	mk, err := s.lookup(keyID)
+	var out []byte
+	err := s.do(ctx, ActionGenerateDataKey, keyID, func(*plane.Request) error {
+		mk, lerr := s.lookup(keyID)
+		if lerr != nil {
+			return lerr
+		}
+		w, werr := s.wrap(mk, dataKey)
+		if werr != nil {
+			return werr
+		}
+		out = w
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return s.wrap(mk, dataKey)
+	return out, nil
 }
 
 // Audit returns a copy of the audit log.
@@ -209,38 +257,38 @@ func (s *Service) Audit() []AuditEntry {
 	return append([]AuditEntry(nil), s.audit...)
 }
 
-// begin performs the per-call bookkeeping: tracing, latency,
-// metering, IAM, and audit logging.
-func (s *Service) begin(ctx *sim.Context, action, keyID string) error {
-	sp := ctx.StartSpan("kms", action)
-	defer ctx.FinishSpan(sp)
-	sp.Annotate("key_id", keyID)
-	if s.model != nil {
-		ctx.Advance(s.model.Sample(netsim.HopKMS))
-	}
-	var app string
-	if ctx != nil {
-		app = ctx.App
-	}
-	usage := pricing.Usage{Kind: pricing.KMSRequests, Quantity: 1, App: app}
-	s.meter.Add(usage)
-	sp.AddUsage(usage)
-
+// do routes one key API call through the request plane and appends the
+// audit entry once the call settles: an entry is recorded whether the
+// call was allowed or denied, timestamped after the call's latency on
+// the flow's timeline (or on the service clock for calls that carry no
+// timeline). Allowed reflects only the IAM decision — a failed lookup
+// after authorization still audits as allowed, as the real service
+// logs the authenticated attempt.
+func (s *Service) do(ctx *sim.Context, action, keyID string, h plane.HandlerFunc) error {
+	err := s.pl.Do(ctx, &plane.Call{
+		Service:     "kms",
+		Op:          action,
+		Action:      action,
+		Resource:    Resource(keyID),
+		Annotations: []trace.Annotation{{Key: "key_id", Value: keyID}},
+		Latency:     &plane.Latency{Hop: netsim.HopKMS},
+		Usage:       []pricing.Usage{{Kind: pricing.KMSRequests, Quantity: 1}},
+	}, h)
 	principal := ""
 	if ctx != nil {
 		principal = ctx.Principal
 	}
-	err := s.iam.Authorize(principal, action, Resource(keyID))
-	if err != nil {
-		sp.Annotate("error", "access-denied")
+	at := ctx.Now()
+	if at.IsZero() {
+		at = s.clk.Now()
 	}
 	s.mu.Lock()
 	s.audit = append(s.audit, AuditEntry{
-		Time:      ctx.Now(),
+		Time:      at,
 		Principal: principal,
 		Action:    action,
 		KeyID:     keyID,
-		Allowed:   err == nil,
+		Allowed:   !errors.Is(err, iam.ErrDenied),
 	})
 	s.mu.Unlock()
 	return err

@@ -24,7 +24,7 @@ type fixture struct {
 func newFixture(t *testing.T) *fixture {
 	t.Helper()
 	f := &fixture{iam: iam.New(), meter: pricing.NewMeter()}
-	f.kms = New(f.iam, f.meter, netsim.NewDefaultModel())
+	f.kms = New(f.iam, f.meter, netsim.NewDefaultModel(), nil)
 	if err := f.kms.CreateKey("alice-chat", false); err != nil {
 		t.Fatal(err)
 	}

@@ -29,10 +29,20 @@ import (
 	"repro/internal/cloudsim/clock"
 	"repro/internal/cloudsim/metrics"
 	"repro/internal/cloudsim/netsim"
+	"repro/internal/cloudsim/plane"
 	"repro/internal/cloudsim/sim"
 	"repro/internal/crypto/envelope"
 	"repro/internal/pricing"
 )
+
+func init() {
+	// Invocations authenticate at the trigger (gateway, SES hook), not
+	// via IAM; the invoked function then acts as its own IAM role.
+	plane.Register(
+		plane.Op{Service: "lambda", Method: "Invoke", Action: ""},
+		plane.Op{Service: "lambda", Method: "InvokeTrigger", Action: ""},
+	)
+}
 
 // Memory limits of the 2017 platform: "Lambda allocates functions a
 // limited amount of memory (128MB to 1.5GB at the time of writing)".
@@ -173,6 +183,7 @@ type functionState struct {
 // concurrent use.
 type Platform struct {
 	meter *pricing.Meter
+	pl    *plane.Plane
 	model *netsim.Model
 	clk   clock.Clock
 
@@ -196,6 +207,7 @@ func New(meter *pricing.Meter, model *netsim.Model, clk clock.Clock) *Platform {
 	}
 	return &Platform{
 		meter:     meter,
+		pl:        plane.New(nil, meter, model),
 		model:     model,
 		clk:       clk,
 		fns:       make(map[string]*functionState),
@@ -204,6 +216,10 @@ func New(meter *pricing.Meter, model *netsim.Model, clk clock.Clock) *Platform {
 		concLimit: DefaultConcurrencyLimit,
 	}
 }
+
+// Plane exposes the platform's request plane so wiring code can attach
+// interceptors around every invocation.
+func (p *Platform) Plane() *plane.Plane { return p.pl }
 
 // SetMetrics wires a monitoring service; each invocation then
 // publishes run-ms, billed-ms, peak-mb and cold samples under the
@@ -402,131 +418,141 @@ func (p *Platform) Invoke(ctx *sim.Context, fnName string, event Event) (Respons
 	warmTTL := p.warmTTL
 	p.mu.Unlock()
 
-	// The lambda span covers dispatch plus the whole execution; it is
-	// closed at the caller's cursor once the run time has been absorbed.
-	lsp := ctx.StartSpan("lambda", fnName)
-	defer ctx.FinishSpan(lsp)
+	var resp Response
+	var stats InvocationStats
+	// The plane opens the lambda span covering dispatch plus the whole
+	// execution (closed at the caller's cursor once the run time has
+	// been absorbed); billing stays in the handler because GB-seconds
+	// are attributed to the function's app, not the caller's, and the
+	// quantum is known only after the run.
+	err := p.pl.Do(ctx, &plane.Call{Service: "lambda", Op: fnName}, func(preq *plane.Request) error {
+		lsp := preq.Span
 
-	// Region selection with transparent failover: first healthy
-	// replica wins; a failed-over request pays inter-region latency.
-	region, hops, err := p.pickRegion(fn.Regions)
-	if err != nil {
-		lsp.Annotate("error", "all-regions-down")
-		return Response{}, InvocationStats{}, err
-	}
-	if ctx != nil {
-		for i := 0; i < hops; i++ {
-			ctx.Advance(p.sample(netsim.HopInterRegion))
+		// Region selection with transparent failover: first healthy
+		// replica wins; a failed-over request pays inter-region latency.
+		region, hops, err := p.pickRegion(fn.Regions)
+		if err != nil {
+			lsp.Annotate("error", "all-regions-down")
+			return err
 		}
-		ctx.Advance(p.sample(netsim.HopGatewayDispatch))
-	}
-
-	// The invocation runs on its own cursor forked from the caller so
-	// run time is measured independently of upstream latency.
-	start := p.instant(ctx)
-	invCursor := sim.NewCursor(start)
-
-	cont, cold := p.acquireContainer(st, region, start)
-	stats := InvocationStats{ColdStart: cold, Region: region}
-	lsp.Annotate("region", region)
-	lsp.Annotate("memory_mb", strconv.Itoa(fn.MemoryMB))
-	lsp.Annotate("cold_start", strconv.FormatBool(cold))
-	if cold {
-		csp := lsp.StartChild("lambda", "cold-start", invCursor.Now())
-		invCursor.Advance(p.sample(netsim.HopColdStart))
-		csp.Finish(invCursor.Now())
-	}
-
-	env := &Env{
-		platform: p,
-		fn:       &fn,
-		cont:     cont,
-		ctx: &sim.Context{
-			Principal:     fn.Role,
-			App:           fn.App,
-			Region:        region,
-			Cursor:        invCursor,
-			FunctionMemMB: fn.MemoryMB,
-			// Downstream service hops made from inside the container
-			// nest under the invocation's span on its own timeline.
-			Span: lsp,
-		},
-	}
-
-	resp, herr := fn.Handler(env, event)
-	env.finish()
-
-	run := invCursor.Elapsed()
-	timedOut := run > fn.Timeout
-	if timedOut {
-		run = fn.Timeout
-	}
-	stats.RunTime = run
-	stats.BilledTime = billQuantum(run)
-	stats.GBSeconds = stats.BilledTime.Seconds() * float64(fn.MemoryMB) / 1024.0
-	stats.PeakMemoryBytes = env.peakMemory
-
-	lsp.Annotate("run_ms", strconv.FormatInt(run.Milliseconds(), 10))
-	lsp.Annotate("billed_ms", strconv.FormatInt(stats.BilledTime.Milliseconds(), 10))
-	if pad := stats.BilledTime - run; pad > 0 {
-		// The billing quantum's padding is virtual: nothing executes
-		// during it, but the GB-seconds charge covers it, so it gets a
-		// span of its own for honest cost attribution. It may extend
-		// past the parent's end, like X-Ray's in-progress segments.
-		qsp := lsp.StartChild("lambda", "billing-quantum", start.Add(run))
-		qsp.Annotate("padding_ms", strconv.FormatInt(pad.Milliseconds(), 10))
-		qsp.Finish(start.Add(stats.BilledTime))
-	}
-
-	// Metering: one request plus billed GB-seconds; both mirrored into
-	// the span so the trace's ledger matches the meter record-for-record.
-	reqUsage := pricing.Usage{Kind: pricing.LambdaRequests, Quantity: 1, App: fn.App}
-	gbsUsage := pricing.Usage{Kind: pricing.LambdaGBSeconds, Quantity: stats.GBSeconds, App: fn.App}
-	p.meter.Add(reqUsage)
-	p.meter.Add(gbsUsage)
-	lsp.AddUsage(reqUsage)
-	lsp.AddUsage(gbsUsage)
-
-	// The caller's timeline absorbs the whole execution.
-	if ctx != nil {
-		ctx.Advance(run)
-	}
-
-	// Publish monitoring samples.
-	p.mu.Lock()
-	mon := p.metrics
-	p.mu.Unlock()
-	if mon != nil {
-		mon.Record(fnName, "run-ms", start, float64(stats.RunTime)/float64(time.Millisecond))
-		mon.Record(fnName, "billed-ms", start, float64(stats.BilledTime)/float64(time.Millisecond))
-		mon.Record(fnName, "peak-mb", start, float64(stats.PeakMemoryBytes)/(1<<20))
-		coldVal := 0.0
-		if stats.ColdStart {
-			coldVal = 1
+		if ctx != nil {
+			for i := 0; i < hops; i++ {
+				ctx.Advance(p.sample(netsim.HopInterRegion))
+			}
+			ctx.Advance(p.sample(netsim.HopGatewayDispatch))
 		}
-		mon.Record(fnName, "cold", start, coldVal)
-	}
 
-	// Release the container.
-	p.mu.Lock()
-	st.invocations++
-	if cold {
-		st.coldStarts++
-	}
-	cont.busy = false
-	cont.lastUsed = maxTime(p.instant(ctx), invCursor.Now())
-	if !fn.CacheDataKeys {
-		cont.scrub()
-	}
-	p.mu.Unlock()
+		// The invocation runs on its own cursor forked from the caller so
+		// run time is measured independently of upstream latency.
+		start := p.instant(ctx)
+		invCursor := sim.NewCursor(start)
 
-	// Evict containers idle beyond the TTL so their cached secrets die.
-	p.evictIdle(st, warmTTL, cont.lastUsed)
+		cont, cold := p.acquireContainer(st, region, start)
+		stats = InvocationStats{ColdStart: cold, Region: region}
+		lsp.Annotate("region", region)
+		lsp.Annotate("memory_mb", strconv.Itoa(fn.MemoryMB))
+		lsp.Annotate("cold_start", strconv.FormatBool(cold))
+		if cold {
+			csp := lsp.StartChild("lambda", "cold-start", invCursor.Now())
+			invCursor.Advance(p.sample(netsim.HopColdStart))
+			csp.Finish(invCursor.Now())
+		}
 
-	if timedOut {
-		return Response{}, stats, fmt.Errorf("lambda: %q after %v: %w", fnName, fn.Timeout, ErrTimeout)
-	}
-	return resp, stats, herr
+		env := &Env{
+			platform: p,
+			fn:       &fn,
+			cont:     cont,
+			ctx: &sim.Context{
+				Principal:     fn.Role,
+				App:           fn.App,
+				Region:        region,
+				Cursor:        invCursor,
+				FunctionMemMB: fn.MemoryMB,
+				// Downstream service hops made from inside the container
+				// nest under the invocation's span on its own timeline.
+				Span: lsp,
+			},
+		}
+
+		var herr error
+		resp, herr = fn.Handler(env, event)
+		env.finish()
+
+		run := invCursor.Elapsed()
+		timedOut := run > fn.Timeout
+		if timedOut {
+			run = fn.Timeout
+		}
+		stats.RunTime = run
+		stats.BilledTime = billQuantum(run)
+		stats.GBSeconds = stats.BilledTime.Seconds() * float64(fn.MemoryMB) / 1024.0
+		stats.PeakMemoryBytes = env.peakMemory
+
+		lsp.Annotate("run_ms", strconv.FormatInt(run.Milliseconds(), 10))
+		lsp.Annotate("billed_ms", strconv.FormatInt(stats.BilledTime.Milliseconds(), 10))
+		if pad := stats.BilledTime - run; pad > 0 {
+			// The billing quantum's padding is virtual: nothing executes
+			// during it, but the GB-seconds charge covers it, so it gets a
+			// span of its own for honest cost attribution. It may extend
+			// past the parent's end, like X-Ray's in-progress segments.
+			qsp := lsp.StartChild("lambda", "billing-quantum", start.Add(run))
+			qsp.Annotate("padding_ms", strconv.FormatInt(pad.Milliseconds(), 10))
+			qsp.Finish(start.Add(stats.BilledTime))
+		}
+
+		// Metering: one request plus billed GB-seconds, attributed to the
+		// function's app; both mirrored into the span so the trace's
+		// ledger matches the meter record-for-record.
+		reqUsage := pricing.Usage{Kind: pricing.LambdaRequests, Quantity: 1, App: fn.App}
+		gbsUsage := pricing.Usage{Kind: pricing.LambdaGBSeconds, Quantity: stats.GBSeconds, App: fn.App}
+		p.meter.Add(reqUsage)
+		p.meter.Add(gbsUsage)
+		lsp.AddUsage(reqUsage)
+		lsp.AddUsage(gbsUsage)
+
+		// The caller's timeline absorbs the whole execution.
+		if ctx != nil {
+			ctx.Advance(run)
+		}
+
+		// Publish monitoring samples.
+		p.mu.Lock()
+		mon := p.metrics
+		p.mu.Unlock()
+		if mon != nil {
+			mon.Record(fnName, "run-ms", start, float64(stats.RunTime)/float64(time.Millisecond))
+			mon.Record(fnName, "billed-ms", start, float64(stats.BilledTime)/float64(time.Millisecond))
+			mon.Record(fnName, "peak-mb", start, float64(stats.PeakMemoryBytes)/(1<<20))
+			coldVal := 0.0
+			if stats.ColdStart {
+				coldVal = 1
+			}
+			mon.Record(fnName, "cold", start, coldVal)
+		}
+
+		// Release the container.
+		p.mu.Lock()
+		st.invocations++
+		if cold {
+			st.coldStarts++
+		}
+		cont.busy = false
+		cont.lastUsed = maxTime(p.instant(ctx), invCursor.Now())
+		if !fn.CacheDataKeys {
+			cont.scrub()
+		}
+		p.mu.Unlock()
+
+		// Evict containers idle beyond the TTL so their cached secrets die.
+		p.evictIdle(st, warmTTL, cont.lastUsed)
+
+		if timedOut {
+			resp = Response{}
+			return fmt.Errorf("lambda: %q after %v: %w", fnName, fn.Timeout, ErrTimeout)
+		}
+		return herr
+	})
+	return resp, stats, err
 }
 
 // Stats reports a function's lifetime invocation and cold-start counts.

@@ -38,7 +38,7 @@ func newFixture(t *testing.T) *fixture {
 		model: netsim.NewDefaultModel(),
 		clk:   clock.NewVirtual(),
 	}
-	f.kms = kms.New(f.iam, f.meter, f.model)
+	f.kms = kms.New(f.iam, f.meter, f.model, nil)
 	f.s3 = s3.New(f.iam, f.meter, f.model, f.clk)
 	f.sqs = sqs.New(f.iam, f.meter, f.model, f.clk)
 	f.platform = New(f.meter, f.model, f.clk)

@@ -1,0 +1,296 @@
+// Package plane implements the shared request plane every simulated
+// cloud service routes its public API calls through. The paper's cost
+// and privacy arguments rest on every service hop being traced,
+// authenticated, latency-modeled, and metered; before this package each
+// service re-implemented that path in its own private `begin` helper
+// with drifting conventions. The plane fixes one pipeline, in one
+// documented order, for all of them:
+//
+//	trace span open ──► IAM authorization ──► latency sampling ──► meter ──► handler ──► span close
+//	                    (child "iam" span)     (memory-coupled       (mirrored into
+//	                                            + payload transfer)   the span ledger)
+//
+// Ordering contract:
+//
+//  1. Trace: a span for the hop opens at the caller's cursor instant
+//     and closes when the call returns, annotated with the error when
+//     the call fails. Calls with Nest set push the span so downstream
+//     hops made with the same context nest under it.
+//  2. Authorization: the IAM decision is recorded as a zero-duration
+//     "iam" child span on traced flows, so `diyctl trace` shows where
+//     denials happen. Denial does NOT short-circuit the next two
+//     stages — AWS delays and bills denied API calls, so the simulator
+//     must too.
+//  3. Latency: one sample of the call's hop distribution, scaled by
+//     the caller's memory allocation when the hop is memory-coupled
+//     (the paper's 128 MB vs 448 MB finding) plus payload transfer
+//     time at the caller's bandwidth, advances the flow's cursor.
+//  4. Metering: the call's request-fee usage is added to the global
+//     meter and mirrored into the span's ledger so per-request cost
+//     attribution matches the bill record for record.
+//  5. Handler: the service's state-mutating closure runs only if
+//     authorization passed. Registered interceptors wrap this stage —
+//     the seam where fault injection, concurrency limits, and per-op
+//     metrics land without touching eight services.
+package plane
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cloudsim/iam"
+	"repro/internal/cloudsim/netsim"
+	"repro/internal/cloudsim/sim"
+	"repro/internal/cloudsim/trace"
+	"repro/internal/pricing"
+)
+
+// RefMemoryMB is the function allocation at which the memory-coupled
+// latency factor is 1.0 — the paper's 448 MB prototype allocation.
+const RefMemoryMB = 448
+
+// Latency describes how a call consumes simulated time.
+type Latency struct {
+	// Hop selects the base latency distribution to sample.
+	Hop netsim.Hop
+	// Scale multiplies the sampled base (0 means 1.0). DynamoDB uses
+	// 0.25: a table op is a quarter of an S3 call.
+	Scale float64
+	// MemoryCoupled scales the base by the caller's function memory
+	// allocation relative to RefMemoryMB, and defaults the transfer
+	// bandwidth from the allocation when the caller has none set.
+	MemoryCoupled bool
+	// TransferBytes adds payload transfer time at the caller's
+	// bandwidth on top of the base latency.
+	TransferBytes int64
+}
+
+// Call describes one service API call to the request plane.
+type Call struct {
+	// Service and Op name the trace span ("s3", "s3:PutObject").
+	Service string
+	Op      string
+	// Action is the IAM action to authorize, or "" for calls that are
+	// not IAM-authenticated (gateway ingress, VM requests, email).
+	Action string
+	// Resource is the IAM resource the action targets.
+	Resource string
+	// Nest pushes the span onto the context so downstream hops made
+	// during the handler nest under it (gateway, ses). Without it the
+	// span is a leaf and downstream spans stay siblings (ec2, lambda
+	// wire their children explicitly).
+	Nest bool
+	// Annotations are attached to the span at open.
+	Annotations []trace.Annotation
+	// Latency is the call's time cost; nil when the op's latency is
+	// conditional and applied inside the handler (gateway's throttle
+	// runs before any latency is paid; ec2 checks instance state
+	// first; SQS delivery latency depends on message availability).
+	Latency *Latency
+	// Usage is the call's request-fee metering, emitted on success and
+	// error alike. The caller's app attribution is stamped on here.
+	Usage []pricing.Usage
+}
+
+// Request is the in-flight view of a Call handed to the handler and to
+// interceptors.
+type Request struct {
+	Ctx  *sim.Context
+	Call *Call
+	// Span is the call's open span (nil on untraced flows; all its
+	// methods are nil-safe).
+	Span  *trace.Span
+	plane *Plane
+}
+
+// MeterUsage meters additional usage discovered during the handler
+// (e.g. transfer-out for an external read), stamped with the caller's
+// app attribution and mirrored into the span's ledger like the
+// request fee.
+func (r *Request) MeterUsage(u pricing.Usage) {
+	if r.Ctx != nil {
+		u.App = r.Ctx.App
+	} else {
+		u.App = ""
+	}
+	if r.plane.meter != nil {
+		r.plane.meter.Add(u)
+	}
+	r.Span.AddUsage(u)
+}
+
+// HandlerFunc is the service-specific stage of a call.
+type HandlerFunc func(*Request) error
+
+// Interceptor wraps the handler stage of every call routed through a
+// plane. Interceptors run after authorization, latency, and metering,
+// in registration order (the first registered is outermost).
+type Interceptor func(next HandlerFunc) HandlerFunc
+
+// Plane is one service's request pipeline. A nil model disables the
+// latency stage; a nil meter disables metering; a nil iam with an
+// authenticated Call fails closed.
+type Plane struct {
+	iam   *iam.Service
+	meter *pricing.Meter
+	model *netsim.Model
+	extra []Interceptor
+}
+
+// New returns a request plane over the given IAM, meter, and network
+// model (any of which may be nil for services that do not use them).
+func New(iamSvc *iam.Service, meter *pricing.Meter, model *netsim.Model) *Plane {
+	return &Plane{iam: iamSvc, meter: meter, model: model}
+}
+
+// Use registers interceptors around the handler stage. Call it during
+// wiring, before the plane serves requests; Do reads the slice without
+// locking.
+func (p *Plane) Use(is ...Interceptor) { p.extra = append(p.extra, is...) }
+
+// Do runs one call through the pipeline: span, authorization, latency,
+// metering, then the handler (wrapped by any registered interceptors).
+// It returns the authorization error — with the handler skipped — when
+// the caller is denied, otherwise the handler's error.
+func (p *Plane) Do(ctx *sim.Context, call *Call, h HandlerFunc) error {
+	// Stage 1: trace.
+	var sp *trace.Span
+	if call.Nest {
+		pushed, done := ctx.PushSpan(call.Service, call.Op)
+		sp = pushed
+		defer done()
+	} else {
+		sp = ctx.StartSpan(call.Service, call.Op)
+		defer ctx.FinishSpan(sp)
+	}
+	for _, a := range call.Annotations {
+		sp.Annotate(a.Key, a.Value)
+	}
+	req := &Request{Ctx: ctx, Call: call, Span: sp, plane: p}
+
+	// Stage 2: authorization.
+	var authErr error
+	if call.Action != "" {
+		principal := ""
+		if ctx != nil {
+			principal = ctx.Principal
+		}
+		if p.iam == nil {
+			authErr = iam.ErrDenied
+		} else {
+			authErr = p.iam.Authorize(principal, call.Action, call.Resource)
+		}
+		if sp != nil {
+			asp := sp.StartChild("iam", call.Action, ctx.Now())
+			if authErr != nil {
+				asp.Annotate("result", "deny")
+			} else {
+				asp.Annotate("result", "allow")
+			}
+			asp.Finish(ctx.Now())
+		}
+		if authErr != nil {
+			sp.Annotate("error", "access-denied")
+		}
+	}
+
+	// Stage 3: latency. Runs even when denied: the round trip happens
+	// before the service refuses.
+	p.advance(ctx, call.Latency)
+
+	// Stage 4: metering. Denied calls are billed too.
+	var app string
+	if ctx != nil {
+		app = ctx.App
+	}
+	for _, u := range call.Usage {
+		u.App = app
+		if p.meter != nil {
+			p.meter.Add(u)
+		}
+		sp.AddUsage(u)
+	}
+
+	if authErr != nil {
+		return authErr
+	}
+
+	// Stage 5: handler, wrapped by the interceptor seam.
+	for i := len(p.extra) - 1; i >= 0; i-- {
+		h = p.extra[i](h)
+	}
+	err := h(req)
+	if err != nil && sp != nil {
+		if _, ok := sp.Annotation("error"); !ok {
+			sp.Annotate("error", err.Error())
+		}
+	}
+	return err
+}
+
+// advance applies the call's latency to the flow's timeline.
+func (p *Plane) advance(ctx *sim.Context, l *Latency) {
+	if l == nil || p.model == nil {
+		return
+	}
+	d := p.model.Sample(l.Hop)
+	if l.Scale > 0 {
+		d = time.Duration(float64(d) * l.Scale)
+	}
+	var bw float64
+	var mem int
+	if ctx != nil {
+		bw, mem = ctx.IOBandwidthMBps, ctx.FunctionMemMB
+	}
+	if l.MemoryCoupled && mem > 0 {
+		d = time.Duration(float64(d) * netsim.MemoryLatencyFactor(mem, RefMemoryMB))
+		if bw == 0 {
+			bw = netsim.BandwidthMBps(mem)
+		}
+	}
+	if l.TransferBytes > 0 {
+		d += netsim.TransferTime(l.TransferBytes, bw)
+	}
+	ctx.Advance(d)
+}
+
+// Op is one registered public service operation. Services register
+// their ops at init so the conformance suite can enumerate the whole
+// API surface and fail when an op lacks coverage.
+type Op struct {
+	// Service is the span service name ("s3").
+	Service string
+	// Method is the exported Go method implementing the op ("Put").
+	Method string
+	// Action is the IAM action the op authorizes, "" when the op is
+	// not IAM-authenticated.
+	Action string
+}
+
+var (
+	regMu    sync.Mutex
+	registry []Op
+)
+
+// Register records service ops in the global registry. Called from
+// service package init functions.
+func Register(ops ...Op) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry = append(registry, ops...)
+}
+
+// Ops returns the registered operations sorted by service and method.
+func Ops() []Op {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := append([]Op(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Service != out[j].Service {
+			return out[i].Service < out[j].Service
+		}
+		return out[i].Method < out[j].Method
+	})
+	return out
+}

@@ -1,0 +1,313 @@
+package plane
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cloudsim/iam"
+	"repro/internal/cloudsim/netsim"
+	"repro/internal/cloudsim/sim"
+	"repro/internal/cloudsim/trace"
+	"repro/internal/pricing"
+)
+
+var t0 = time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func allowAll(t *testing.T) *iam.Service {
+	t.Helper()
+	svc := iam.New()
+	err := svc.PutRole(&iam.Role{
+		Name: "fn",
+		Policies: []iam.Policy{{
+			Name:       "all",
+			Statements: []iam.Statement{iam.AllowStatement([]string{"*"}, []string{"*"})},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func tracedCtx() (*sim.Context, *trace.Trace) {
+	ctx := &sim.Context{Principal: "fn", App: "app", Cursor: sim.NewCursor(t0)}
+	tr := ctx.StartTrace("test")
+	return ctx, tr
+}
+
+// TestPipelineOrder drives one fully-featured call and checks each
+// stage's observable effect: the span opens at the call instant with
+// the call's annotations, the IAM decision lands as a zero-duration
+// child span before any latency is paid, the cursor advances, the
+// request fee reaches both the meter and the span ledger, and the
+// handler runs last (observing the post-latency cursor).
+func TestPipelineOrder(t *testing.T) {
+	meter := pricing.NewMeter()
+	p := New(allowAll(t), meter, netsim.NewDefaultModel())
+	ctx, tr := tracedCtx()
+
+	var handlerAt time.Time
+	err := p.Do(ctx, &Call{
+		Service:     "svc",
+		Op:          "Op",
+		Action:      "svc:Op",
+		Resource:    "thing/x",
+		Annotations: []trace.Annotation{{Key: "k", Value: "v"}},
+		Latency:     &Latency{Hop: netsim.HopS3},
+		Usage:       []pricing.Usage{{Kind: pricing.S3GetRequests, Quantity: 1}},
+	}, func(req *Request) error {
+		handlerAt = ctx.Now()
+		if req.Span == nil {
+			t.Error("handler got no span")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !handlerAt.After(t0) {
+		t.Errorf("handler ran at %v; want after latency advanced the cursor past %v", handlerAt, t0)
+	}
+
+	sp := tr.Find("svc", "Op")
+	if sp == nil {
+		t.Fatal("no svc/Op span recorded")
+	}
+	if got, ok := sp.Annotation("k"); !ok || got != "v" {
+		t.Errorf("call annotation = %q, %v", got, ok)
+	}
+	if sp.Start() != t0 {
+		t.Errorf("span opened at %v, want call instant %v", sp.Start(), t0)
+	}
+	if sp.End() != handlerAt {
+		t.Errorf("span closed at %v, want handler-return instant %v", sp.End(), handlerAt)
+	}
+
+	asp := tr.Find("iam", "svc:Op")
+	if asp == nil {
+		t.Fatal("no iam child span recorded")
+	}
+	if asp.Parent() != sp {
+		t.Error("iam span is not a child of the call span")
+	}
+	if asp.Start() != t0 || asp.Duration() != 0 {
+		t.Errorf("iam span [%v +%v]; want zero-duration at the call instant (before latency)", asp.Start(), asp.Duration())
+	}
+	if res, _ := asp.Annotation("result"); res != "allow" {
+		t.Errorf("iam result = %q, want allow", res)
+	}
+
+	if got := meter.Total(pricing.S3GetRequests); got != 1 {
+		t.Errorf("metered %v requests, want 1", got)
+	}
+	us := sp.Usage()
+	if len(us) != 1 || us[0].Kind != pricing.S3GetRequests || us[0].App != "app" {
+		t.Errorf("span ledger = %+v, want one app-stamped request fee", us)
+	}
+}
+
+// TestDeniedCallStillMetersAndPaysLatency: AWS bills and delays denied
+// API calls, so stages 3 and 4 run even when authorization fails — but
+// the handler must not.
+func TestDeniedCallStillMetersAndPaysLatency(t *testing.T) {
+	meter := pricing.NewMeter()
+	p := New(iam.New(), meter, netsim.NewDefaultModel()) // no roles: everything denied
+	ctx, tr := tracedCtx()
+
+	ran := false
+	err := p.Do(ctx, &Call{
+		Service:  "svc",
+		Op:       "Op",
+		Action:   "svc:Op",
+		Resource: "thing/x",
+		Latency:  &Latency{Hop: netsim.HopS3},
+		Usage:    []pricing.Usage{{Kind: pricing.S3GetRequests, Quantity: 1}},
+	}, func(*Request) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, iam.ErrDenied) {
+		t.Fatalf("err = %v, want ErrDenied", err)
+	}
+	if ran {
+		t.Error("handler ran on a denied call")
+	}
+	if got := meter.Total(pricing.S3GetRequests); got != 1 {
+		t.Errorf("denied call metered %v requests, want 1", got)
+	}
+	if !ctx.Now().After(t0) {
+		t.Error("denied call paid no latency")
+	}
+	sp := tr.Find("svc", "Op")
+	if msg, _ := sp.Annotation("error"); msg != "access-denied" {
+		t.Errorf("error annotation = %q, want access-denied", msg)
+	}
+	if res, _ := tr.Find("iam", "svc:Op").Annotation("result"); res != "deny" {
+		t.Errorf("iam result = %q, want deny", res)
+	}
+}
+
+// TestNilIAMFailsClosed: an authenticated Call on a plane with no IAM
+// service must deny, not silently allow.
+func TestNilIAMFailsClosed(t *testing.T) {
+	p := New(nil, nil, nil)
+	err := p.Do(nil, &Call{Service: "svc", Op: "Op", Action: "svc:Op"}, func(*Request) error {
+		t.Error("handler ran")
+		return nil
+	})
+	if !errors.Is(err, iam.ErrDenied) {
+		t.Fatalf("err = %v, want ErrDenied", err)
+	}
+}
+
+// TestInterceptorSeam: Use-registered interceptors wrap the handler
+// stage in registration order, first registered outermost, and can
+// short-circuit it.
+func TestInterceptorSeam(t *testing.T) {
+	p := New(nil, nil, nil)
+	var order []string
+	mk := func(name string) Interceptor {
+		return func(next HandlerFunc) HandlerFunc {
+			return func(req *Request) error {
+				order = append(order, name+">")
+				err := next(req)
+				order = append(order, "<"+name)
+				return err
+			}
+		}
+	}
+	p.Use(mk("outer"), mk("inner"))
+	err := p.Do(nil, &Call{Service: "svc", Op: "Op"}, func(*Request) error {
+		order = append(order, "handler")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"outer>", "inner>", "handler", "<inner", "<outer"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+
+	boom := errors.New("injected")
+	p2 := New(nil, nil, nil)
+	p2.Use(func(HandlerFunc) HandlerFunc {
+		return func(*Request) error { return boom }
+	})
+	err = p2.Do(nil, &Call{Service: "svc", Op: "Op"}, func(*Request) error {
+		t.Error("short-circuited handler ran")
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+}
+
+// TestHandlerErrorAnnotation: a failing handler annotates the span
+// with its error, but never overwrites an annotation the handler set
+// itself.
+func TestHandlerErrorAnnotation(t *testing.T) {
+	p := New(nil, nil, nil)
+	ctx, tr := tracedCtx()
+	wantErr := errors.New("svc: thing exploded")
+	if err := p.Do(ctx, &Call{Service: "svc", Op: "Op"}, func(*Request) error {
+		return wantErr
+	}); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if msg, _ := tr.Find("svc", "Op").Annotation("error"); msg != wantErr.Error() {
+		t.Errorf("error annotation = %q, want %q", msg, wantErr.Error())
+	}
+
+	ctx2, tr2 := tracedCtx()
+	p.Do(ctx2, &Call{Service: "svc", Op: "Short"}, func(req *Request) error {
+		req.Span.Annotate("error", "short-token")
+		return wantErr
+	})
+	if msg, _ := tr2.Find("svc", "Short").Annotation("error"); msg != "short-token" {
+		t.Errorf("handler's own error annotation was overwritten: %q", msg)
+	}
+}
+
+// TestLatencyModel: the latency stage reproduces the service formulas —
+// scale factor, memory coupling against the 448 MB reference, and
+// payload transfer at the allocation's bandwidth — against an
+// identically-seeded model.
+func TestLatencyModel(t *testing.T) {
+	const memMB = 128
+	const payload = int64(1 << 20)
+	p := New(nil, nil, netsim.NewDefaultModel())
+	ref := netsim.NewDefaultModel() // same seed, same stream
+
+	ctx := &sim.Context{Cursor: sim.NewCursor(t0), FunctionMemMB: memMB}
+	err := p.Do(ctx, &Call{
+		Service: "svc",
+		Op:      "Op",
+		Latency: &Latency{Hop: netsim.HopS3, MemoryCoupled: true, TransferBytes: payload},
+	}, func(*Request) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := ref.Sample(netsim.HopS3)
+	d = time.Duration(float64(d) * netsim.MemoryLatencyFactor(memMB, RefMemoryMB))
+	d += netsim.TransferTime(payload, netsim.BandwidthMBps(memMB))
+	if got := ctx.Cursor.Elapsed(); got != d {
+		t.Errorf("latency = %v, want %v", got, d)
+	}
+
+	// Scale divides the base sample like dynamo's quarter-hop.
+	p2 := New(nil, nil, netsim.NewDefaultModel())
+	ref2 := netsim.NewDefaultModel()
+	ctx2 := &sim.Context{Cursor: sim.NewCursor(t0)}
+	if err := p2.Do(ctx2, &Call{Service: "svc", Op: "Op", Latency: &Latency{Hop: netsim.HopS3, Scale: 0.25}},
+		func(*Request) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(float64(ref2.Sample(netsim.HopS3)) * 0.25)
+	if got := ctx2.Cursor.Elapsed(); got != want {
+		t.Errorf("scaled latency = %v, want %v", got, want)
+	}
+}
+
+// TestNilSafety: untraced, meterless, modelless planes and nil
+// contexts must all be usable no-ops around the handler.
+func TestNilSafety(t *testing.T) {
+	p := New(nil, nil, nil)
+	ran := false
+	err := p.Do(nil, &Call{
+		Service: "svc",
+		Op:      "Op",
+		Latency: &Latency{Hop: netsim.HopS3},
+		Usage:   []pricing.Usage{{Kind: pricing.S3GetRequests, Quantity: 1}},
+	}, func(req *Request) error {
+		ran = true
+		req.MeterUsage(pricing.Usage{Kind: pricing.TransferOutGB, Quantity: 1}) // nil meter: no-op
+		return nil
+	})
+	if err != nil || !ran {
+		t.Fatalf("err = %v, ran = %v", err, ran)
+	}
+}
+
+// TestRegistry: Register/Ops is sorted and append-only.
+func TestRegistry(t *testing.T) {
+	before := len(Ops())
+	Register(Op{Service: "ztest", Method: "B"}, Op{Service: "ztest", Method: "A"})
+	ops := Ops()
+	if len(ops) != before+2 {
+		t.Fatalf("Ops() grew by %d, want 2", len(ops)-before)
+	}
+	for i := 1; i < len(ops); i++ {
+		a, b := ops[i-1], ops[i]
+		if a.Service > b.Service || (a.Service == b.Service && a.Method > b.Method) {
+			t.Fatalf("Ops() not sorted at %d: %+v > %+v", i, a, b)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cloudsim/plane"
 	"repro/internal/cloudsim/sim"
 	"repro/internal/pricing"
 )
@@ -84,19 +85,20 @@ func (s *Service) GetPresigned(ctx *sim.Context, token string) (*Object, error) 
 	cp.Data = append([]byte(nil), o.Data...)
 	s.mu.RUnlock()
 
-	sp := ctx.StartSpan("s3", "GetPresigned")
-	defer ctx.FinishSpan(sp)
-	sp.Annotate("bytes", strconv.FormatInt(int64(len(cp.Data)), 10))
-	s.advanceLatency(ctx, int64(len(cp.Data)))
-	var app string
-	if ctx != nil {
-		app = ctx.App
-	}
-	usage := pricing.Usage{Kind: pricing.S3GetRequests, Quantity: 1, App: app}
-	s.meter.Add(usage)
-	sp.AddUsage(usage)
-	if ctx != nil && ctx.External {
-		s.meterTransferOut(ctx, sp, int64(len(cp.Data)))
+	// The token itself is the authorization, so the plane call carries
+	// no IAM action; the hop is still traced, latency-modeled, and
+	// metered like any other GET.
+	size := int64(len(cp.Data))
+	c := call("", "", size, pricing.S3GetRequests)
+	c.Op = "GetPresigned"
+	err = s.pl.Do(ctx, c, func(req *plane.Request) error {
+		if ctx != nil && ctx.External {
+			req.MeterUsage(pricing.Usage{Kind: pricing.TransferOutGB, Quantity: float64(size) / 1e9})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &cp, nil
 }

@@ -18,11 +18,22 @@ import (
 	"repro/internal/cloudsim/clock"
 	"repro/internal/cloudsim/iam"
 	"repro/internal/cloudsim/netsim"
+	"repro/internal/cloudsim/plane"
 	"repro/internal/cloudsim/sim"
 	"repro/internal/cloudsim/trace"
 	"repro/internal/crypto/envelope"
 	"repro/internal/pricing"
 )
+
+func init() {
+	plane.Register(
+		plane.Op{Service: "s3", Method: "Put", Action: ActionPut},
+		plane.Op{Service: "s3", Method: "Get", Action: ActionGet},
+		plane.Op{Service: "s3", Method: "Delete", Action: ActionDelete},
+		plane.Op{Service: "s3", Method: "List", Action: ActionList},
+		plane.Op{Service: "s3", Method: "GetPresigned", Action: ""},
+	)
+}
 
 // Actions checked against IAM.
 const (
@@ -64,7 +75,7 @@ type bucket struct {
 type Service struct {
 	iam   *iam.Service
 	meter *pricing.Meter
-	model *netsim.Model
+	pl    *plane.Plane
 	clk   clock.Clock
 
 	mu            sync.RWMutex
@@ -81,10 +92,32 @@ func New(iamSvc *iam.Service, meter *pricing.Meter, model *netsim.Model, clk clo
 	return &Service{
 		iam:     iamSvc,
 		meter:   meter,
-		model:   model,
+		pl:      plane.New(iamSvc, meter, model),
 		clk:     clk,
 		buckets: make(map[string]*bucket),
 	}
+}
+
+// Plane exposes the service's request plane so wiring code can attach
+// interceptors (fault injection, concurrency limits) around every op.
+func (s *Service) Plane() *plane.Plane { return s.pl }
+
+// call builds the plane descriptor for one object-store op. Every S3
+// call pays the memory-coupled base latency plus payload transfer
+// time, and meters one request of the given kind.
+func call(action, resource string, payload int64, reqKind pricing.Kind) *plane.Call {
+	c := &plane.Call{
+		Service:  "s3",
+		Op:       action,
+		Action:   action,
+		Resource: resource,
+		Latency:  &plane.Latency{Hop: netsim.HopS3, MemoryCoupled: true, TransferBytes: payload},
+		Usage:    []pricing.Usage{{Kind: reqKind, Quantity: 1}},
+	}
+	if payload > 0 {
+		c.Annotations = []trace.Annotation{{Key: "bytes", Value: strconv.FormatInt(payload, 10)}}
+	}
+	return c
 }
 
 // ObjectResource returns the IAM resource string for one object.
@@ -153,28 +186,25 @@ func (s *Service) BucketExists(name string) bool {
 // with the sealed-writes policy reject payloads that are not envelope
 // ciphertext.
 func (s *Service) Put(ctx *sim.Context, bucketName, key string, data []byte) error {
-	sp, err := s.begin(ctx, ActionPut, ObjectResource(bucketName, key), int64(len(data)), pricing.S3PutRequests)
-	defer ctx.FinishSpan(sp)
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	b, ok := s.buckets[bucketName]
-	if !ok {
-		return fmt.Errorf("s3: %q: %w", bucketName, ErrNoSuchBucket)
-	}
-	if b.requireSealed && !envelope.IsSealed(data) {
-		return fmt.Errorf("s3: %s/%s: %w", bucketName, key, ErrPlaintextRejected)
-	}
-	b.version++
-	b.objects[key] = &Object{
-		Key:      key,
-		Data:     append([]byte(nil), data...),
-		Modified: s.clk.Now(),
-		Version:  b.version,
-	}
-	return nil
+	return s.pl.Do(ctx, call(ActionPut, ObjectResource(bucketName, key), int64(len(data)), pricing.S3PutRequests), func(*plane.Request) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		b, ok := s.buckets[bucketName]
+		if !ok {
+			return fmt.Errorf("s3: %q: %w", bucketName, ErrNoSuchBucket)
+		}
+		if b.requireSealed && !envelope.IsSealed(data) {
+			return fmt.Errorf("s3: %s/%s: %w", bucketName, key, ErrPlaintextRejected)
+		}
+		b.version++
+		b.objects[key] = &Object{
+			Key:      key,
+			Data:     append([]byte(nil), data...),
+			Modified: s.clk.Now(),
+			Version:  b.version,
+		}
+		return nil
+	})
 }
 
 // Get retrieves an object. External callers are billed internet
@@ -189,67 +219,69 @@ func (s *Service) Get(ctx *sim.Context, bucketName, key string) (*Object, error)
 	}
 	s.mu.RUnlock()
 
-	sp, err := s.begin(ctx, ActionGet, ObjectResource(bucketName, key), size, pricing.S3GetRequests)
-	defer ctx.FinishSpan(sp)
+	var out *Object
+	err := s.pl.Do(ctx, call(ActionGet, ObjectResource(bucketName, key), size, pricing.S3GetRequests), func(req *plane.Request) error {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		b, ok := s.buckets[bucketName]
+		if !ok {
+			return fmt.Errorf("s3: %q: %w", bucketName, ErrNoSuchBucket)
+		}
+		o, ok := b.objects[key]
+		if !ok {
+			return fmt.Errorf("s3: %s/%s: %w", bucketName, key, ErrNoSuchKey)
+		}
+		if ctx != nil && ctx.External {
+			req.MeterUsage(pricing.Usage{Kind: pricing.TransferOutGB, Quantity: float64(size) / 1e9})
+		}
+		cp := *o
+		cp.Data = append([]byte(nil), o.Data...)
+		out = &cp
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	b, ok := s.buckets[bucketName]
-	if !ok {
-		return nil, fmt.Errorf("s3: %q: %w", bucketName, ErrNoSuchBucket)
-	}
-	o, ok := b.objects[key]
-	if !ok {
-		return nil, fmt.Errorf("s3: %s/%s: %w", bucketName, key, ErrNoSuchKey)
-	}
-	if ctx != nil && ctx.External {
-		s.meterTransferOut(ctx, sp, size)
-	}
-	cp := *o
-	cp.Data = append([]byte(nil), o.Data...)
-	return &cp, nil
+	return out, nil
 }
 
 // Delete removes an object. Deleting an absent key is not an error,
 // matching S3 semantics.
 func (s *Service) Delete(ctx *sim.Context, bucketName, key string) error {
-	sp, err := s.begin(ctx, ActionDelete, ObjectResource(bucketName, key), 0, pricing.S3PutRequests)
-	defer ctx.FinishSpan(sp)
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	b, ok := s.buckets[bucketName]
-	if !ok {
-		return fmt.Errorf("s3: %q: %w", bucketName, ErrNoSuchBucket)
-	}
-	delete(b.objects, key)
-	return nil
+	return s.pl.Do(ctx, call(ActionDelete, ObjectResource(bucketName, key), 0, pricing.S3PutRequests), func(*plane.Request) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		b, ok := s.buckets[bucketName]
+		if !ok {
+			return fmt.Errorf("s3: %q: %w", bucketName, ErrNoSuchBucket)
+		}
+		delete(b.objects, key)
+		return nil
+	})
 }
 
 // List returns the keys in a bucket with the given prefix, sorted.
 func (s *Service) List(ctx *sim.Context, bucketName, prefix string) ([]string, error) {
-	sp, err := s.begin(ctx, ActionList, BucketResource(bucketName), 0, pricing.S3GetRequests)
-	defer ctx.FinishSpan(sp)
+	var keys []string
+	err := s.pl.Do(ctx, call(ActionList, BucketResource(bucketName), 0, pricing.S3GetRequests), func(*plane.Request) error {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		b, ok := s.buckets[bucketName]
+		if !ok {
+			return fmt.Errorf("s3: %q: %w", bucketName, ErrNoSuchBucket)
+		}
+		keys = make([]string, 0, len(b.objects))
+		for k := range b.objects {
+			if strings.HasPrefix(k, prefix) {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	b, ok := s.buckets[bucketName]
-	if !ok {
-		return nil, fmt.Errorf("s3: %q: %w", bucketName, ErrNoSuchBucket)
-	}
-	keys := make([]string, 0, len(b.objects))
-	for k := range b.objects {
-		if strings.HasPrefix(k, prefix) {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
 	return keys, nil
 }
 
@@ -279,63 +311,3 @@ func (s *Service) AccrueStorage(d time.Duration, app string) {
 	s.meter.Add(pricing.Usage{Kind: pricing.S3StorageGBMo, Quantity: gb * months, App: app})
 }
 
-// begin performs per-call tracing, latency, metering and
-// authorization. The returned span is still open so callers can
-// attach post-call attribution (e.g. transfer-out billing); they
-// close it via ctx.FinishSpan.
-func (s *Service) begin(ctx *sim.Context, action, resource string, payload int64, reqKind pricing.Kind) (*trace.Span, error) {
-	sp := ctx.StartSpan("s3", action)
-	if payload > 0 {
-		sp.Annotate("bytes", strconv.FormatInt(payload, 10))
-	}
-	s.advanceLatency(ctx, payload)
-	var app string
-	if ctx != nil {
-		app = ctx.App
-	}
-	usage := pricing.Usage{Kind: reqKind, Quantity: 1, App: app}
-	s.meter.Add(usage)
-	sp.AddUsage(usage)
-	principal := ""
-	if ctx != nil {
-		principal = ctx.Principal
-	}
-	err := s.iam.Authorize(principal, action, resource)
-	if err != nil {
-		sp.Annotate("error", "access-denied")
-	}
-	return sp, err
-}
-
-// advanceLatency applies the S3 call latency to the flow's timeline:
-// a base latency scaled by the caller's memory allocation (if it is a
-// function container) plus payload transfer time at the caller's
-// bandwidth.
-func (s *Service) advanceLatency(ctx *sim.Context, payload int64) {
-	if s.model == nil || ctx == nil || ctx.Cursor == nil {
-		return
-	}
-	base := s.model.Sample(netsim.HopS3)
-	bw := ctx.IOBandwidthMBps
-	if ctx.FunctionMemMB > 0 {
-		base = time.Duration(float64(base) * netsim.MemoryLatencyFactor(ctx.FunctionMemMB, 448))
-		if bw == 0 {
-			bw = netsim.BandwidthMBps(ctx.FunctionMemMB)
-		}
-	}
-	ctx.Advance(base + netsim.TransferTime(payload, bw))
-}
-
-func (s *Service) meterTransferOut(ctx *sim.Context, sp *trace.Span, bytes int64) {
-	var app string
-	if ctx != nil {
-		app = ctx.App
-	}
-	usage := pricing.Usage{
-		Kind:     pricing.TransferOutGB,
-		Quantity: float64(bytes) / 1e9,
-		App:      app,
-	}
-	s.meter.Add(usage)
-	sp.AddUsage(usage)
-}

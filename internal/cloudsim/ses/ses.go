@@ -18,9 +18,20 @@ import (
 
 	"repro/internal/cloudsim/lambda"
 	"repro/internal/cloudsim/netsim"
+	"repro/internal/cloudsim/plane"
 	"repro/internal/cloudsim/sim"
+	"repro/internal/cloudsim/trace"
 	"repro/internal/pricing"
 )
+
+func init() {
+	// SES calls are not IAM-authenticated: Send is reached from inside
+	// an already-authorized function, Deliver models port-25 ingress.
+	plane.Register(
+		plane.Op{Service: "ses", Method: "Send", Action: ""},
+		plane.Op{Service: "ses", Method: "Deliver", Action: ""},
+	)
+}
 
 // TriggerSource is the lambda trigger source key for inbound mail.
 const TriggerSource = "ses"
@@ -32,8 +43,7 @@ var ErrNoHook = errors.New("ses: recipient has no inbound hook")
 // use. It implements lambda.EmailSender.
 type Service struct {
 	platform *lambda.Platform
-	meter    *pricing.Meter
-	model    *netsim.Model
+	pl       *plane.Plane
 
 	mu      sync.Mutex
 	inbound map[string]bool // addresses with a registered hook
@@ -53,11 +63,14 @@ type OutboundMail struct {
 func New(platform *lambda.Platform, meter *pricing.Meter, model *netsim.Model) *Service {
 	return &Service{
 		platform: platform,
-		meter:    meter,
-		model:    model,
+		pl:       plane.New(nil, meter, model),
 		inbound:  make(map[string]bool),
 	}
 }
+
+// Plane exposes the service's request plane so wiring code can attach
+// interceptors around every op.
+func (s *Service) Plane() *plane.Plane { return s.pl }
 
 var _ lambda.EmailSender = (*Service)(nil)
 
@@ -79,27 +92,27 @@ func (s *Service) RegisterInbound(addr, fnName string) error {
 // receive the mail via their Lambda trigger; others leave the
 // simulation into the outbox.
 func (s *Service) Send(ctx *sim.Context, from string, to []string, raw []byte) error {
-	sp, done := ctx.PushSpan("ses", "Send")
-	defer done()
-	sp.Annotate("recipients", strconv.Itoa(len(to)))
-	if s.model != nil && ctx != nil {
-		ctx.Advance(s.model.Sample(netsim.HopSES))
+	// One metered SES message per recipient.
+	usage := make([]pricing.Usage, len(to))
+	for i := range usage {
+		usage[i] = pricing.Usage{Kind: pricing.SESMessages, Quantity: 1}
 	}
-	var app string
-	if ctx != nil {
-		app = ctx.App
-	}
-	var firstErr error
-	for _, rcpt := range to {
-		rcpt = normalize(rcpt)
-		usage := pricing.Usage{Kind: pricing.SESMessages, Quantity: 1, App: app}
-		s.meter.Add(usage)
-		sp.AddUsage(usage)
-		if err := s.deliver(ctx, from, rcpt, raw); err != nil && firstErr == nil {
-			firstErr = err
+	return s.pl.Do(ctx, &plane.Call{
+		Service:     "ses",
+		Op:          "Send",
+		Nest:        true,
+		Annotations: []trace.Annotation{{Key: "recipients", Value: strconv.Itoa(len(to))}},
+		Latency:     &plane.Latency{Hop: netsim.HopSES},
+		Usage:       usage,
+	}, func(*plane.Request) error {
+		var firstErr error
+		for _, rcpt := range to {
+			if err := s.deliver(ctx, from, normalize(rcpt), raw); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
-	}
-	return firstErr
+		return firstErr
+	})
 }
 
 // Deliver injects inbound mail from the outside world for a hooked
@@ -112,19 +125,21 @@ func (s *Service) Deliver(ctx *sim.Context, from, to string, raw []byte) error {
 	if !hooked {
 		return fmt.Errorf("ses: %q: %w", to, ErrNoHook)
 	}
-	sp, done := ctx.PushSpan("ses", "Deliver")
-	defer done()
-	sp.Annotate("to", to)
-	if s.model != nil && ctx != nil {
-		ctx.Advance(s.model.Sample(netsim.HopSES))
-	}
-	_, _, err := s.platform.InvokeTrigger(ctx, TriggerSource, to, lambda.Event{
-		Source: TriggerSource,
-		Op:     "inbound",
-		Body:   raw,
-		Attrs:  map[string]string{"from": from, "to": to},
+	return s.pl.Do(ctx, &plane.Call{
+		Service:     "ses",
+		Op:          "Deliver",
+		Nest:        true,
+		Annotations: []trace.Annotation{{Key: "to", Value: to}},
+		Latency:     &plane.Latency{Hop: netsim.HopSES},
+	}, func(*plane.Request) error {
+		_, _, err := s.platform.InvokeTrigger(ctx, TriggerSource, to, lambda.Event{
+			Source: TriggerSource,
+			Op:     "inbound",
+			Body:   raw,
+			Attrs:  map[string]string{"from": from, "to": to},
+		})
+		return err
 	})
-	return err
 }
 
 func (s *Service) deliver(ctx *sim.Context, from, to string, raw []byte) error {

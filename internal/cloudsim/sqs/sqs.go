@@ -24,10 +24,19 @@ import (
 	"repro/internal/cloudsim/clock"
 	"repro/internal/cloudsim/iam"
 	"repro/internal/cloudsim/netsim"
+	"repro/internal/cloudsim/plane"
 	"repro/internal/cloudsim/sim"
 	"repro/internal/cloudsim/trace"
 	"repro/internal/pricing"
 )
+
+func init() {
+	plane.Register(
+		plane.Op{Service: "sqs", Method: "Send", Action: ActionSend},
+		plane.Op{Service: "sqs", Method: "Receive", Action: ActionReceive},
+		plane.Op{Service: "sqs", Method: "Delete", Action: ActionDelete},
+	)
+}
 
 // MaxWait is SQS's maximum long-poll interval.
 const MaxWait = 20 * time.Second
@@ -76,9 +85,8 @@ type queue struct {
 
 // Service is the simulated queue service. It is safe for concurrent use.
 type Service struct {
-	iam   *iam.Service
-	meter *pricing.Meter
-	model *netsim.Model
+	pl    *plane.Plane
+	model *netsim.Model // delivery-hop sampling inside the poll
 	clk   clock.Clock
 
 	mu     sync.Mutex
@@ -93,11 +101,26 @@ func New(iamSvc *iam.Service, meter *pricing.Meter, model *netsim.Model, clk clo
 		clk = clock.Wall{}
 	}
 	return &Service{
-		iam:    iamSvc,
-		meter:  meter,
+		pl:     plane.New(iamSvc, meter, model),
 		model:  model,
 		clk:    clk,
 		queues: make(map[string]*queue),
+	}
+}
+
+// Plane exposes the service's request plane so wiring code can attach
+// interceptors around every op.
+func (s *Service) Plane() *plane.Plane { return s.pl }
+
+// call builds the plane descriptor for one queue API call.
+func call(action, name string) *plane.Call {
+	return &plane.Call{
+		Service:     "sqs",
+		Op:          action,
+		Action:      action,
+		Resource:    Resource(name),
+		Annotations: []trace.Annotation{{Key: "queue", Value: name}},
+		Usage:       []pricing.Usage{{Kind: pricing.SQSRequests, Quantity: 1}},
 	}
 }
 
@@ -192,30 +215,32 @@ func (s *Service) Len(name string) int {
 // Send enqueues a message. The message becomes visible at the sender's
 // current simulated instant plus the queue-delivery latency.
 func (s *Service) Send(ctx *sim.Context, name string, body []byte) (string, error) {
-	sp, err := s.begin(ctx, ActionSend, name)
-	defer ctx.FinishSpan(sp)
+	c := call(ActionSend, name)
+	c.Annotations = append(c.Annotations, trace.Annotation{Key: "bytes", Value: strconv.Itoa(len(body))})
+	c.Latency = &plane.Latency{Hop: netsim.HopSQSSend}
+	var id string
+	err := s.pl.Do(ctx, c, func(*plane.Request) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		q, ok := s.queues[name]
+		if !ok {
+			return fmt.Errorf("sqs: %q: %w", name, ErrNoSuchQueue)
+		}
+		s.nextID++
+		id = "m-" + strconv.FormatInt(s.nextID, 10)
+		q.msgs = append(q.msgs, &message{
+			id:   id,
+			body: append([]byte(nil), body...),
+			sent: s.instant(ctx),
+		})
+		// Wake wall-clock long pollers.
+		close(q.notify)
+		q.notify = make(chan struct{})
+		return nil
+	})
 	if err != nil {
 		return "", err
 	}
-	sp.Annotate("bytes", strconv.Itoa(len(body)))
-	ctxAdvance(ctx, s.sample(netsim.HopSQSSend))
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	q, ok := s.queues[name]
-	if !ok {
-		return "", fmt.Errorf("sqs: %q: %w", name, ErrNoSuchQueue)
-	}
-	s.nextID++
-	id := "m-" + strconv.FormatInt(s.nextID, 10)
-	q.msgs = append(q.msgs, &message{
-		id:   id,
-		body: append([]byte(nil), body...),
-		sent: s.instant(ctx),
-	})
-	// Wake wall-clock long pollers.
-	close(q.notify)
-	q.notify = make(chan struct{})
 	return id, nil
 }
 
@@ -224,29 +249,28 @@ func (s *Service) Send(ctx *sim.Context, name string, body []byte) (string, erro
 // DefaultVisibility; they must be deleted once processed or they will
 // reappear (at-least-once delivery).
 func (s *Service) Receive(ctx *sim.Context, name string, max int, wait time.Duration) ([]Message, error) {
-	sp, err := s.begin(ctx, ActionReceive, name)
-	defer ctx.FinishSpan(sp)
-	if err != nil {
-		return nil, err
-	}
-	if max <= 0 {
-		max = 1
-	}
-	if wait < 0 {
-		wait = 0
-	}
-	if wait > MaxWait {
-		wait = MaxWait
-	}
-	ctxAdvance(ctx, s.sample(netsim.HopSQSPoll))
-
+	c := call(ActionReceive, name)
+	c.Latency = &plane.Latency{Hop: netsim.HopSQSPoll}
 	var msgs []Message
-	if ctx != nil && ctx.Cursor != nil {
-		msgs, err = s.receiveVirtual(ctx, name, max, wait)
-	} else {
-		msgs, err = s.receiveBlocking(ctx, name, max, wait)
-	}
-	sp.Annotate("messages", strconv.Itoa(len(msgs)))
+	err := s.pl.Do(ctx, c, func(req *plane.Request) error {
+		if max <= 0 {
+			max = 1
+		}
+		if wait < 0 {
+			wait = 0
+		}
+		if wait > MaxWait {
+			wait = MaxWait
+		}
+		var rerr error
+		if ctx != nil && ctx.Cursor != nil {
+			msgs, rerr = s.receiveVirtual(ctx, name, max, wait)
+		} else {
+			msgs, rerr = s.receiveBlocking(ctx, name, max, wait)
+		}
+		req.Span.Annotate("messages", strconv.Itoa(len(msgs)))
+		return rerr
+	})
 	return msgs, err
 }
 
@@ -372,44 +396,21 @@ func (s *Service) receiveBlocking(ctx *sim.Context, name string, max int, wait t
 // Delete removes a received message by id. Deleting an unknown id is a
 // no-op, matching SQS semantics.
 func (s *Service) Delete(ctx *sim.Context, name, id string) error {
-	sp, err := s.begin(ctx, ActionDelete, name)
-	defer ctx.FinishSpan(sp)
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	q, ok := s.queues[name]
-	if !ok {
-		return fmt.Errorf("sqs: %q: %w", name, ErrNoSuchQueue)
-	}
-	for i, m := range q.msgs {
-		if m.id == id {
-			q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
-			break
+	return s.pl.Do(ctx, call(ActionDelete, name), func(*plane.Request) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		q, ok := s.queues[name]
+		if !ok {
+			return fmt.Errorf("sqs: %q: %w", name, ErrNoSuchQueue)
 		}
-	}
-	return nil
-}
-
-// begin traces, meters and authorizes one queue API call. The
-// returned span stays open so callers can annotate the outcome and
-// close it once the hop's latency has been applied.
-func (s *Service) begin(ctx *sim.Context, action, name string) (*trace.Span, error) {
-	sp := ctx.StartSpan("sqs", action)
-	sp.Annotate("queue", name)
-	var app, principal string
-	if ctx != nil {
-		app, principal = ctx.App, ctx.Principal
-	}
-	usage := pricing.Usage{Kind: pricing.SQSRequests, Quantity: 1, App: app}
-	s.meter.Add(usage)
-	sp.AddUsage(usage)
-	err := s.iam.Authorize(principal, action, Resource(name))
-	if err != nil {
-		sp.Annotate("error", "access-denied")
-	}
-	return sp, err
+		for i, m := range q.msgs {
+			if m.id == id {
+				q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
+				break
+			}
+		}
+		return nil
+	})
 }
 
 func (s *Service) sample(h netsim.Hop) time.Duration {
@@ -426,10 +427,4 @@ func (s *Service) instant(ctx *sim.Context) time.Time {
 		return ctx.Cursor.Now()
 	}
 	return s.clk.Now()
-}
-
-func ctxAdvance(ctx *sim.Context, d time.Duration) {
-	if ctx != nil {
-		ctx.Advance(d)
-	}
 }

@@ -90,9 +90,9 @@ func NewCloud(opts CloudOptions) (*Cloud, error) {
 		Book:   book,
 		IAM:    iam.New(),
 	}
-	c.KMS = kms.New(c.IAM, c.Meter, c.Model)
+	c.KMS = kms.New(c.IAM, c.Meter, c.Model, c.Clock)
 	c.S3 = s3.New(c.IAM, c.Meter, c.Model, c.Clock)
-	c.Dynamo = dynamo.New(c.IAM, c.Meter, c.Model)
+	c.Dynamo = dynamo.New(c.IAM, c.Meter, c.Model, c.Clock)
 	c.SQS = sqs.New(c.IAM, c.Meter, c.Model, c.Clock)
 	c.Lambda = lambda.New(c.Meter, c.Model, c.Clock)
 	c.EC2 = ec2.New(c.Meter, c.Model, c.Clock)

@@ -7,8 +7,11 @@ cd "$(dirname "$0")/.."
 echo ">> go vet ./..."
 go vet ./...
 
-echo ">> diylint ./... (domain invariants: wallclock, globalrand, moneyfloat, spanhygiene, droppederr)"
+echo ">> diylint ./... (domain invariants: wallclock, globalrand, moneyfloat, spanhygiene, planeroute, droppederr)"
 go run ./cmd/diylint ./...
+
+echo ">> ledger parity (Tables 1-3 bit-identical to committed goldens)"
+go test ./internal/experiments -run TestLedgerParity
 
 echo ">> go test -race ./..."
 go test -race ./...
