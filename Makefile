@@ -15,7 +15,8 @@ vet:
 
 # lint runs diylint, the repo's domain-invariant analyzer suite
 # (wallclock, globalrand, moneyfloat, spanhygiene, planeroute,
-# droppederr). Deliberate findings live in .diylint-allow with a
+# metricname, droppederr). Deliberate findings live in .diylint-allow
+# with a
 # justification.
 lint:
 	$(GO) run ./cmd/diylint ./...
@@ -26,5 +27,7 @@ race:
 check:
 	sh scripts/check.sh
 
+# bench snapshots the cloudsim hot-path benchmarks (plane.Do under
+# interceptor chains, metrics window lookup) into BENCH_cloudsim.json.
 bench:
-	$(GO) test -bench . -benchtime 1x -run xxx .
+	sh scripts/bench.sh

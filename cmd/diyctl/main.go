@@ -6,6 +6,7 @@
 //	diyctl demo      # full scenario: install, chat, mail, bill, migrate
 //	diyctl store     # app-store walkthrough: publish, install, report
 //	diyctl trace     # flame-style trace of one chat send, with dollars
+//	diyctl metrics   # CloudWatch-sim dashboard: RED metrics, alarms, cost
 //	diyctl tcb       # print the trusted-computing-base comparison
 //	diyctl bill      # price the paper's Table 2 workloads
 package main
@@ -46,6 +47,8 @@ func main() {
 		err = streamDemo()
 	case "trace":
 		err = traceDemo()
+	case "metrics":
+		err = metricsDemo()
 	case "bill":
 		fmt.Println(experiments.RenderTable2(experiments.RunTable2()))
 	default:
@@ -58,7 +61,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: diyctl <demo|store|attest|stream|trace|tcb|bill>")
+	fmt.Fprintln(os.Stderr, "usage: diyctl <demo|store|attest|stream|trace|metrics|tcb|bill>")
 }
 
 // demo runs the end-to-end scenario: deploy chat and email for a user,

@@ -1,7 +1,8 @@
 // Command diylint runs the repo's domain-invariant static analyzers:
 // virtual-time purity (wallclock), seeded randomness (globalrand),
 // nanodollar money discipline (moneyfloat), trace-span coverage
-// (spanhygiene), and discarded errors (droppederr).
+// (spanhygiene), plane routing (planeroute), metric-name registry
+// discipline (metricname), and discarded errors (droppederr).
 //
 // Usage:
 //

@@ -55,6 +55,10 @@ func main() {
 		tr3, err := experiments.RunTrace3(*sends, *seed)
 		check(err)
 		fmt.Println(tr3.Render())
+
+		m3, err := experiments.RunMetrics3(experiments.Table3Config{Sends: *sends, Seed: *seed})
+		check(err)
+		fmt.Println(m3.Render())
 	}
 	if all || *figure == 1 {
 		tr, err := experiments.RunFigure1()

@@ -15,6 +15,9 @@
 //   - planeroute: exported service methods that accept a *sim.Context
 //     route their calls through plane.Do, so no service can bypass the
 //     unified trace/auth/latency/meter pipeline;
+//   - metricname: metric series names are registry constants from
+//     internal/cloudsim/metrics, lowercase dot-separated and passed by
+//     constant reference, so a typo cannot silently split a series;
 //   - droppederr: internal/cloudsim never discards an error with `_ =`.
 //
 // The driver is stdlib-only (go/ast, go/parser, go/types): the repo is
@@ -85,6 +88,7 @@ func Analyzers() []*Analyzer {
 		MoneyFloat,
 		SpanHygiene,
 		PlaneRoute,
+		MetricName,
 		DroppedErr,
 	}
 }

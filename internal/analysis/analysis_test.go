@@ -33,6 +33,8 @@ var fixtureDirs = []string{
 	"internal/cloudsim/spangood",
 	"internal/cloudsim/planebad",
 	"internal/cloudsim/planegood",
+	"internal/cloudsim/metricbad",
+	"internal/cloudsim/metricgood",
 	"internal/cloudsim/errbad",
 	"internal/cloudsim/errgood",
 	"moneybad",
@@ -82,6 +84,7 @@ var goldenCases = []struct {
 	{MoneyFloat, "moneybad", "moneygood"},
 	{SpanHygiene, "internal/cloudsim/spanbad", "internal/cloudsim/spangood"},
 	{PlaneRoute, "internal/cloudsim/planebad", "internal/cloudsim/planegood"},
+	{MetricName, "internal/cloudsim/metricbad", "internal/cloudsim/metricgood"},
 	{DroppedErr, "internal/cloudsim/errbad", "internal/cloudsim/errgood"},
 }
 

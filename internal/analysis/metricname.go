@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricName guards the metric-name registry (metrics/names.go): a
+// typo'd series name silently splits one series into two and skews
+// every windowed statistic, so names may only be minted in the metrics
+// package and must be passed to the stats API by constant reference.
+// The metrics package itself is exempt from the call-site rule — the
+// registry is the one place allowed to treat names as data (it ranges
+// over Names() to render the exposition).
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "metric series names are registry constants: minted in internal/cloudsim/metrics, lowercase dot-separated, passed by constant reference",
+	Run:  runMetricName,
+}
+
+// metricNameRE mirrors metrics.nameRE: lowercase dot-separated
+// identifiers, each segment starting with a letter.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z][a-z0-9]*)+$`)
+
+const metricsPkgDir = "internal/cloudsim/metrics"
+
+// metricArgMethods are the (*metrics.Service) methods whose second
+// argument is a metric name.
+var metricArgMethods = map[string]bool{
+	"Record":     true,
+	"Count":      true,
+	"Sum":        true,
+	"Max":        true,
+	"Min":        true,
+	"Avg":        true,
+	"Percentile": true,
+}
+
+func runMetricName(p *Pass) {
+	inRegistry := strings.HasSuffix(p.Pkg.Path, metricsPkgDir)
+
+	// Rule 1: Metric*-prefixed string constants are the registry's
+	// naming convention; minting one elsewhere invites unregistered
+	// series, and a registry constant that is not lowercase
+	// dot-separated breaks the exposition's name flattening.
+	for _, file := range p.Pkg.Files {
+		for _, d := range file.Decls {
+			gen, ok := d.(*ast.GenDecl)
+			if !ok || gen.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Metric") {
+						continue
+					}
+					c, ok := p.Pkg.Info.Defs[name].(*types.Const)
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					if !inRegistry {
+						p.Reportf(name.Pos(),
+							"constant %s mints a metric series name outside the registry; declare it in %s so the dashboard and alarms can see the series",
+							name.Name, metricsPkgDir)
+					}
+					if val := constant.StringVal(c.Val()); !metricNameRE.MatchString(val) {
+						p.Reportf(name.Pos(),
+							"metric name constant %s = %q is not lowercase dot-separated identifiers; the exposition and alarm validation reject it",
+							name.Name, val)
+					}
+				}
+			}
+		}
+	}
+
+	// Rule 2: the metric argument of every stats-API call resolves to a
+	// constant declared in the registry package.
+	if inRegistry {
+		return
+	}
+	walkFiles(p, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(p.Pkg.Info, call)
+		if callee == nil || callee.Pkg() == nil ||
+			!strings.HasSuffix(callee.Pkg().Path(), metricsPkgDir) ||
+			!metricArgMethods[callee.Name()] || len(call.Args) < 2 {
+			return true
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		if metricArgIsRegistryConst(p.Pkg.Info, call.Args[1]) {
+			return true
+		}
+		p.Reportf(call.Args[1].Pos(),
+			"metric name passed to (*metrics.Service).%s is not a registry constant; use a Metric* constant from %s so the series cannot typo-split",
+			callee.Name(), metricsPkgDir)
+		return true
+	})
+}
+
+// metricArgIsRegistryConst reports whether expr resolves to a constant
+// declared in the metrics package.
+func metricArgIsRegistryConst(info *types.Info, expr ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	return ok && c.Pkg() != nil && strings.HasSuffix(c.Pkg().Path(), metricsPkgDir)
+}

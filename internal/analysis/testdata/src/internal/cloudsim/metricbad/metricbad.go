@@ -1,0 +1,23 @@
+// Package metricbad publishes metric series under ad-hoc names — a
+// string literal, a locally minted constant, and a variable — instead
+// of the registry constants; metricname must flag every one.
+package metricbad
+
+import (
+	"time"
+
+	"repro/internal/cloudsim/metrics"
+)
+
+// MetricAdHoc mints a series name outside the registry, in a casing
+// the exposition's name flattening cannot handle.
+const MetricAdHoc = "Lambda.RunMS"
+
+// Publish records and queries series the dashboard will never group
+// correctly.
+func Publish(s *metrics.Service, at time.Time) float64 {
+	s.Record("svc/op", "requests.total.adhoc", at, 1)
+	s.Record("svc/op", MetricAdHoc, at, 1)
+	name := metrics.MetricPlaneRequests
+	return s.Sum("svc/op", name, at, at)
+}

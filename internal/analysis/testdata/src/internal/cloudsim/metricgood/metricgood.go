@@ -1,0 +1,16 @@
+// Package metricgood publishes and queries metric series through the
+// registry constants only; metricname must stay silent.
+package metricgood
+
+import (
+	"time"
+
+	"repro/internal/cloudsim/metrics"
+)
+
+// Publish records one sample and reads back a windowed stat, naming
+// the series by registry constant both times.
+func Publish(s *metrics.Service, at time.Time) float64 {
+	s.Record("svc/op", metrics.MetricPlaneRequests, at, 1)
+	return s.Percentile("svc/op", metrics.MetricPlaneLatencyMs, at, at, 99)
+}

@@ -222,9 +222,9 @@ func New(meter *pricing.Meter, model *netsim.Model, clk clock.Clock) *Platform {
 func (p *Platform) Plane() *plane.Plane { return p.pl }
 
 // SetMetrics wires a monitoring service; each invocation then
-// publishes run-ms, billed-ms, peak-mb and cold samples under the
-// function's name (the CloudWatch statistics the paper's Table 3 was
-// measured from).
+// publishes lambda.run.ms, lambda.billed.ms, lambda.peak.mb and
+// lambda.cold samples under the function's name (the CloudWatch
+// statistics the paper's Table 3 was measured from).
 func (p *Platform) SetMetrics(m *metrics.Service) {
 	p.mu.Lock()
 	p.metrics = m
@@ -501,14 +501,12 @@ func (p *Platform) Invoke(ctx *sim.Context, fnName string, event Event) (Respons
 		}
 
 		// Metering: one request plus billed GB-seconds, attributed to the
-		// function's app; both mirrored into the span so the trace's
-		// ledger matches the meter record-for-record.
-		reqUsage := pricing.Usage{Kind: pricing.LambdaRequests, Quantity: 1, App: fn.App}
-		gbsUsage := pricing.Usage{Kind: pricing.LambdaGBSeconds, Quantity: stats.GBSeconds, App: fn.App}
-		p.meter.Add(reqUsage)
-		p.meter.Add(gbsUsage)
-		lsp.AddUsage(reqUsage)
-		lsp.AddUsage(gbsUsage)
+		// function's app (not the invoking caller's, hence MeterUsageAs);
+		// mirrored into the span so the trace's ledger matches the meter
+		// record-for-record, and visible to the request's interceptors
+		// so the cost series covers the invocation charge.
+		preq.MeterUsageAs(pricing.Usage{Kind: pricing.LambdaRequests, Quantity: 1, App: fn.App})
+		preq.MeterUsageAs(pricing.Usage{Kind: pricing.LambdaGBSeconds, Quantity: stats.GBSeconds, App: fn.App})
 
 		// The caller's timeline absorbs the whole execution.
 		if ctx != nil {
@@ -520,14 +518,14 @@ func (p *Platform) Invoke(ctx *sim.Context, fnName string, event Event) (Respons
 		mon := p.metrics
 		p.mu.Unlock()
 		if mon != nil {
-			mon.Record(fnName, "run-ms", start, float64(stats.RunTime)/float64(time.Millisecond))
-			mon.Record(fnName, "billed-ms", start, float64(stats.BilledTime)/float64(time.Millisecond))
-			mon.Record(fnName, "peak-mb", start, float64(stats.PeakMemoryBytes)/(1<<20))
+			mon.Record(fnName, metrics.MetricLambdaRunMs, start, float64(stats.RunTime)/float64(time.Millisecond))
+			mon.Record(fnName, metrics.MetricLambdaBilledMs, start, float64(stats.BilledTime)/float64(time.Millisecond))
+			mon.Record(fnName, metrics.MetricLambdaPeakMB, start, float64(stats.PeakMemoryBytes)/(1<<20))
 			coldVal := 0.0
 			if stats.ColdStart {
 				coldVal = 1
 			}
-			mon.Record(fnName, "cold", start, coldVal)
+			mon.Record(fnName, metrics.MetricLambdaCold, start, coldVal)
 		}
 
 		// Release the container.

@@ -1,0 +1,317 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the CloudWatch-style alarm state machine. An alarm
+// watches one windowed statistic of one series, evaluates it over a
+// fixed period grid anchored at the alarm's creation instant, and
+// transitions between OK, ALARM, and INSUFFICIENT_DATA when the last
+// EvalPeriods datapoints agree. Evaluation is driven explicitly
+// (Service.EvaluateAlarms with a clock reading) rather than by a
+// background goroutine, so identically-seeded simulations produce
+// bit-identical transition logs — scripts/check.sh diffs two runs.
+
+// AlarmState is an alarm's current state.
+type AlarmState string
+
+const (
+	StateOK           AlarmState = "OK"
+	StateAlarm        AlarmState = "ALARM"
+	StateInsufficient AlarmState = "INSUFFICIENT_DATA"
+)
+
+// Stat selects the windowed statistic an alarm evaluates.
+type Stat string
+
+const (
+	StatCount Stat = "count"
+	StatSum   Stat = "sum"
+	StatAvg   Stat = "avg"
+	StatMin   Stat = "min"
+	StatMax   Stat = "max"
+)
+
+// Comparison relates the evaluated statistic to the threshold; the
+// datapoint breaches when the relation holds.
+type Comparison string
+
+const (
+	GreaterThanThreshold          Comparison = ">"
+	GreaterThanOrEqualToThreshold Comparison = ">="
+	LessThanThreshold             Comparison = "<"
+	LessThanOrEqualToThreshold    Comparison = "<="
+)
+
+// MissingPolicy says how an evaluation period with no samples counts.
+type MissingPolicy string
+
+const (
+	// MissingMissing (the default) counts the period as missing data:
+	// EvalPeriods consecutive empty periods transition the alarm to
+	// INSUFFICIENT_DATA; a mix of empty and sampled periods leaves the
+	// state unchanged.
+	MissingMissing MissingPolicy = "missing"
+	// MissingNotBreaching counts an empty period as within threshold.
+	MissingNotBreaching MissingPolicy = "notBreaching"
+	// MissingBreaching counts an empty period as breaching.
+	MissingBreaching MissingPolicy = "breaching"
+)
+
+// AlarmConfig describes one alarm.
+type AlarmConfig struct {
+	// Name identifies the alarm; unique per service.
+	Name string
+	// Namespace and Metric select the watched series. Metric must be a
+	// registered name (see names.go).
+	Namespace string
+	Metric    string
+	// Stat is the windowed statistic to evaluate.
+	Stat Stat
+	// Period is the width of one evaluation window; the grid of period
+	// boundaries is anchored at the alarm's creation instant.
+	Period time.Duration
+	// EvalPeriods is how many consecutive agreeing datapoints it takes
+	// to transition (CloudWatch's "datapoints to alarm", with M == N).
+	EvalPeriods int
+	// Comparison and Threshold define when a datapoint breaches.
+	Comparison Comparison
+	Threshold  float64
+	// Missing says how empty periods count; zero value means
+	// MissingMissing.
+	Missing MissingPolicy
+}
+
+// Transition is one recorded state change.
+type Transition struct {
+	At     time.Time
+	Alarm  string
+	From   AlarmState
+	To     AlarmState
+	Reason string
+}
+
+func (t Transition) String() string {
+	return fmt.Sprintf("%s %s %s -> %s: %s",
+		t.At.UTC().Format(time.RFC3339), t.Alarm, t.From, t.To, t.Reason)
+}
+
+// Alarm is one installed alarm. All state is guarded by mu; evaluation
+// happens only inside Service.EvaluateAlarms.
+type Alarm struct {
+	svc    *Service
+	cfg    AlarmConfig
+	action func(Transition)
+
+	mu          sync.Mutex
+	state       AlarmState
+	next        time.Time // boundary ending the next unevaluated period
+	recent      []string  // last <=EvalPeriods datapoints: "ok"|"breaching"|"missing"
+	transitions []Transition
+}
+
+// Config returns the alarm's configuration.
+func (a *Alarm) Config() AlarmConfig { return a.cfg }
+
+// State returns the alarm's current state.
+func (a *Alarm) State() AlarmState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.state
+}
+
+// Transitions returns a copy of the alarm's state-change log in
+// evaluation order.
+func (a *Alarm) Transitions() []Transition {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Transition(nil), a.transitions...)
+}
+
+// PutAlarm installs an alarm. The period grid is anchored at `at`
+// (the first evaluation covers [at, at+Period)); alarms start in
+// INSUFFICIENT_DATA like CloudWatch's. The action hook, if non-nil, is
+// called once per transition, after the transition is recorded and
+// outside the alarm's lock.
+func (s *Service) PutAlarm(cfg AlarmConfig, at time.Time, action func(Transition)) (*Alarm, error) {
+	if cfg.Name == "" || cfg.Namespace == "" {
+		return nil, fmt.Errorf("metrics: alarm needs a name and a namespace")
+	}
+	if !Registered(cfg.Metric) {
+		return nil, fmt.Errorf("metrics: alarm %q watches unregistered metric %q", cfg.Name, cfg.Metric)
+	}
+	switch cfg.Stat {
+	case StatCount, StatSum, StatAvg, StatMin, StatMax:
+	default:
+		return nil, fmt.Errorf("metrics: alarm %q: unknown stat %q", cfg.Name, cfg.Stat)
+	}
+	switch cfg.Comparison {
+	case GreaterThanThreshold, GreaterThanOrEqualToThreshold, LessThanThreshold, LessThanOrEqualToThreshold:
+	default:
+		return nil, fmt.Errorf("metrics: alarm %q: unknown comparison %q", cfg.Name, cfg.Comparison)
+	}
+	if cfg.Period <= 0 || cfg.EvalPeriods < 1 {
+		return nil, fmt.Errorf("metrics: alarm %q: period and evaluation periods must be positive", cfg.Name)
+	}
+	if cfg.Missing == "" {
+		cfg.Missing = MissingMissing
+	}
+	a := &Alarm{
+		svc:    s,
+		cfg:    cfg,
+		action: action,
+		state:  StateInsufficient,
+		next:   at.Add(cfg.Period),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, other := range s.alarms {
+		if other.cfg.Name == cfg.Name {
+			return nil, fmt.Errorf("metrics: alarm %q already exists", cfg.Name)
+		}
+	}
+	s.alarms = append(s.alarms, a)
+	return a, nil
+}
+
+// Alarms returns the installed alarms sorted by name.
+func (s *Service) Alarms() []*Alarm {
+	s.mu.Lock()
+	out := append([]*Alarm(nil), s.alarms...)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].cfg.Name < out[j].cfg.Name })
+	return out
+}
+
+// AlarmCount reports how many alarms are installed — what CloudWatch
+// bills by.
+func (s *Service) AlarmCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.alarms)
+}
+
+// EvaluateAlarms catches every alarm up to now: each period that has
+// fully elapsed since the last evaluation is evaluated in order, so a
+// single call after a long simulated stretch replays the whole grid
+// deterministically. Transitions fire their action hooks in evaluation
+// order.
+func (s *Service) EvaluateAlarms(now time.Time) {
+	for _, a := range s.Alarms() {
+		var fired []Transition
+		a.mu.Lock()
+		for !a.next.After(now) {
+			if t, ok := a.step(a.next); ok {
+				fired = append(fired, t)
+			}
+			a.next = a.next.Add(a.cfg.Period)
+		}
+		a.mu.Unlock()
+		if a.action != nil {
+			for _, t := range fired {
+				a.action(t)
+			}
+		}
+	}
+}
+
+// step evaluates the period ending at boundary `end` and returns the
+// transition if one fired. Called with a.mu held.
+func (a *Alarm) step(end time.Time) (Transition, bool) {
+	cfg := a.cfg
+	from := end.Add(-cfg.Period)
+	to := end.Add(-time.Nanosecond) // stats windows are inclusive; periods are [from, end)
+	n := a.svc.Count(cfg.Namespace, cfg.Metric, from, to)
+
+	kind := "missing"
+	var val float64
+	if n == 0 {
+		switch cfg.Missing {
+		case MissingNotBreaching:
+			kind = "ok"
+		case MissingBreaching:
+			kind = "breaching"
+		}
+	} else {
+		switch cfg.Stat {
+		case StatCount:
+			val = float64(n)
+		case StatSum:
+			val = a.svc.Sum(cfg.Namespace, cfg.Metric, from, to)
+		case StatAvg:
+			val = a.svc.Avg(cfg.Namespace, cfg.Metric, from, to)
+		case StatMin:
+			val = a.svc.Min(cfg.Namespace, cfg.Metric, from, to)
+		case StatMax:
+			val = a.svc.Max(cfg.Namespace, cfg.Metric, from, to)
+		}
+		if breaches(val, cfg.Comparison, cfg.Threshold) {
+			kind = "breaching"
+		} else {
+			kind = "ok"
+		}
+	}
+
+	a.recent = append(a.recent, kind)
+	if len(a.recent) > cfg.EvalPeriods {
+		a.recent = a.recent[len(a.recent)-cfg.EvalPeriods:]
+	}
+	if len(a.recent) < cfg.EvalPeriods {
+		return Transition{}, false // still warming up; stays INSUFFICIENT_DATA
+	}
+
+	next := a.state
+	switch {
+	case allKind(a.recent, "breaching"):
+		next = StateAlarm
+	case allKind(a.recent, "ok"):
+		next = StateOK
+	case allKind(a.recent, "missing"):
+		next = StateInsufficient
+		// A mix leaves the state unchanged: with M==N semantics the
+		// last EvalPeriods datapoints must agree to move.
+	}
+	if next == a.state {
+		return Transition{}, false
+	}
+	reason := fmt.Sprintf("no data for %d period(s)", cfg.EvalPeriods)
+	if kind != "missing" {
+		reason = fmt.Sprintf("%s(%s/%s) = %g %s %g for %d period(s)",
+			cfg.Stat, cfg.Namespace, cfg.Metric, val, cfg.Comparison, cfg.Threshold, cfg.EvalPeriods)
+		if next == StateOK {
+			reason = fmt.Sprintf("%s(%s/%s) = %g within threshold %g for %d period(s)",
+				cfg.Stat, cfg.Namespace, cfg.Metric, val, cfg.Threshold, cfg.EvalPeriods)
+		}
+	}
+	t := Transition{At: end, Alarm: cfg.Name, From: a.state, To: next, Reason: reason}
+	a.state = next
+	a.transitions = append(a.transitions, t)
+	return t, true
+}
+
+func breaches(v float64, cmp Comparison, threshold float64) bool {
+	switch cmp {
+	case GreaterThanThreshold:
+		return v > threshold
+	case GreaterThanOrEqualToThreshold:
+		return v >= threshold
+	case LessThanThreshold:
+		return v < threshold
+	case LessThanOrEqualToThreshold:
+		return v <= threshold
+	}
+	return false
+}
+
+func allKind(kinds []string, want string) bool {
+	for _, k := range kinds {
+		if k != want {
+			return false
+		}
+	}
+	return len(kinds) > 0
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// OpStat summarizes one plane namespace over a window — one row of the
+// `diyctl metrics` top table.
+type OpStat struct {
+	Namespace string
+	Requests  float64
+	Errors    float64
+	Denials   float64
+	P50Ms     float64
+	P99Ms     float64
+	// CostNanos is the summed list price of the namespace's calls, in
+	// nanodollars (divide by Requests for $/req).
+	CostNanos float64
+}
+
+// TopTable aggregates the interceptor-published plane series into
+// per-(service, op) rows, sorted by namespace. Namespaces without a
+// plane.requests series (e.g. the account rollup or per-function
+// lambda series) are skipped.
+func (s *Service) TopTable(from, to time.Time) []OpStat {
+	var rows []OpStat
+	for _, ns := range s.Namespaces() {
+		n := s.Count(ns, MetricPlaneRequests, from, to)
+		if n == 0 {
+			continue
+		}
+		rows = append(rows, OpStat{
+			Namespace: ns,
+			Requests:  float64(n),
+			Errors:    s.Sum(ns, MetricPlaneErrors, from, to),
+			Denials:   s.Sum(ns, MetricPlaneDenials, from, to),
+			P50Ms:     s.Percentile(ns, MetricPlaneLatencyMs, from, to, 50),
+			P99Ms:     s.Percentile(ns, MetricPlaneLatencyMs, from, to, 99),
+			CostNanos: s.Sum(ns, MetricPlaneCostNanos, from, to),
+		})
+	}
+	return rows
+}
+
+// Exposition renders every series' windowed count/sum/max in the
+// Prometheus text format, one family per registered metric name with
+// the namespace as a label:
+//
+//	plane_requests_count{ns="s3/s3:GetObject"} 42
+//
+// Output is sorted (namespace within metric) so it diffs cleanly
+// between runs.
+func (s *Service) Exposition(from, to time.Time) string {
+	var sb strings.Builder
+	for _, metric := range Names() {
+		flat := strings.ReplaceAll(metric, ".", "_")
+		wrote := false
+		for _, ns := range s.Namespaces() {
+			n := s.Count(ns, metric, from, to)
+			if n == 0 {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(&sb, "# TYPE %s summary\n", flat)
+				wrote = true
+			}
+			fmt.Fprintf(&sb, "%s_count{ns=%q} %d\n", flat, ns, n)
+			fmt.Fprintf(&sb, "%s_sum{ns=%q} %g\n", flat, ns, s.Sum(ns, metric, from, to))
+			fmt.Fprintf(&sb, "%s_max{ns=%q} %g\n", flat, ns, s.Max(ns, metric, from, to))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/cloudsim/clock"
+	"repro/internal/cloudsim/iam"
+	"repro/internal/cloudsim/plane"
+	"repro/internal/pricing"
+)
+
+// PlaneInterceptor returns a plane.Use interceptor that auto-publishes
+// RED and cost series for every call routed through the plane it is
+// installed on — no per-service instrumentation:
+//
+//	<service>/<op>  plane.requests          1 per call
+//	<service>/<op>  plane.errors            1 per failed call
+//	<service>/<op>  plane.denials           1 per IAM-denied call
+//	<service>/<op>  plane.latency.ms        cursor time consumed by the call
+//	<service>/<op>  plane.cost.nanodollars  list price of the call's metered usage
+//	account         account.cost.nanodollars  cumulative priced spend (gauge)
+//
+// Samples are timestamped at the flow cursor's post-call instant;
+// cursor-less flows fall back to the service clock so alarms still see
+// them. The interceptor only reads the request — it never meters or
+// mutates — so installing it cannot move a ledger-parity golden by a
+// nanodollar (scripts/check.sh proves this each run).
+func PlaneInterceptor(s *Service, book *pricing.PriceBook, clk clock.Clock) plane.Interceptor {
+	var mu sync.Mutex // pairs the cumulative-spend add with its Record
+	var cum int64
+	return func(next plane.HandlerFunc) plane.HandlerFunc {
+		return func(req *plane.Request) error {
+			err := next(req)
+
+			ns := req.Call.Service + "/" + req.Call.Op
+			at := req.Ctx.Now()
+			if at.IsZero() && clk != nil {
+				at = clk.Now()
+			}
+			s.Record(ns, MetricPlaneRequests, at, 1)
+			switch {
+			case errors.Is(err, iam.ErrDenied):
+				s.Record(ns, MetricPlaneDenials, at, 1)
+			case err != nil:
+				s.Record(ns, MetricPlaneErrors, at, 1)
+			}
+			if start := req.Start(); !start.IsZero() && !at.Before(start) {
+				s.Record(ns, MetricPlaneLatencyMs, at,
+					float64(at.Sub(start))/float64(time.Millisecond))
+			}
+			var cost pricing.Money
+			for _, u := range req.Metered() {
+				cost += book.ListPrice(u)
+			}
+			s.Record(ns, MetricPlaneCostNanos, at, float64(cost.Nanodollars()))
+			mu.Lock()
+			cum += cost.Nanodollars()
+			total := cum
+			mu.Unlock()
+			s.Record(AccountNamespace, MetricAccountCostNanos, at, float64(total))
+			return err
+		}
+	}
+}
+
+// BudgetAlarm returns the configuration for a monthly-cost budget
+// alarm over the cumulative spend gauge PlaneInterceptor publishes:
+// Max over each period climbs with the ledger, so the alarm fires
+// within one period of list-price spend crossing the budget. Periods
+// with no API calls count as not breaching (no spend means no news,
+// not missing data).
+func BudgetAlarm(name string, budget pricing.Money, period time.Duration) AlarmConfig {
+	return AlarmConfig{
+		Name:        name,
+		Namespace:   AccountNamespace,
+		Metric:      MetricAccountCostNanos,
+		Stat:        StatMax,
+		Period:      period,
+		EvalPeriods: 1,
+		Comparison:  GreaterThanThreshold,
+		Threshold:   float64(budget.Nanodollars()),
+		Missing:     MissingNotBreaching,
+	}
+}
+
+// Usage reports the monitoring inventory as meterable usage — one
+// custom-metric month per stored series and one alarm-month per alarm,
+// the quantities CloudWatch billed by in 2017. The inventory is
+// deliberately not pushed into the account meter automatically (the
+// paper's Tables 1–3 predate the observability layer); callers price
+// it on demand via PriceBook.ListPrice or a scratch meter.
+func (s *Service) Usage() []pricing.Usage {
+	return []pricing.Usage{
+		{Kind: pricing.CWMetricMonths, Quantity: float64(s.SeriesCount()), Resource: "cloudwatch"},
+		{Kind: pricing.CWAlarmMonths, Quantity: float64(s.AlarmCount()), Resource: "cloudwatch"},
+	}
+}

@@ -1,9 +1,11 @@
 // Package metrics simulates the monitoring service the paper's
 // prototype measurements came from (Table 3's "Med. Lambda Time
 // Billed/Run" and "Peak Memory Used" are CloudWatch statistics on real
-// AWS). The lambda platform publishes one datum per invocation; the
-// experiment harness and the app store's dashboards query counts,
-// sums and percentiles over time windows.
+// AWS). The lambda platform publishes one datum per invocation, and
+// the plane interceptor (see PlaneInterceptor) auto-publishes RED and
+// cost series for every service API call; the experiment harness, the
+// alarm state machine (alarm.go), and `diyctl metrics` query windowed
+// statistics over the stored series.
 package metrics
 
 import (
@@ -18,11 +20,13 @@ type Datum struct {
 	Value float64
 }
 
-// Service stores time-series samples by (namespace, metric). It is
-// safe for concurrent use.
+// Service stores time-series samples by (namespace, metric) and hosts
+// the alarms that watch them (alarm.go). It is safe for concurrent
+// use.
 type Service struct {
 	mu     sync.Mutex
 	series map[string][]Datum
+	alarms []*Alarm
 }
 
 // New returns an empty metrics service.
@@ -32,19 +36,30 @@ func New() *Service {
 
 func key(namespace, metric string) string { return namespace + "\x00" + metric }
 
-// Record appends one sample.
+// Record stores one sample, keeping the series ordered by timestamp.
+// Most publishers emit in clock order so the common case is a plain
+// append, but concurrent request flows each carry their own cursor and
+// can land samples slightly out of order; those are insertion-sorted
+// into place (stably: a sample never moves past an equal timestamp)
+// so window's binary search stays correct.
 func (s *Service) Record(namespace, metric string, at time.Time, value float64) {
 	s.mu.Lock()
 	k := key(namespace, metric)
-	s.series[k] = append(s.series[k], Datum{At: at, Value: value})
+	series := append(s.series[k], Datum{})
+	i := len(series) - 1
+	for i > 0 && series[i-1].At.After(at) {
+		series[i] = series[i-1]
+		i--
+	}
+	series[i] = Datum{At: at, Value: value}
+	s.series[k] = series
 	s.mu.Unlock()
 }
 
 // window returns the samples within [from, to] (zero times mean
-// unbounded). Samples arrive in timestamp order (the lambda platform
-// publishes them as the simulated clock advances), so the from bound
-// is located by binary search; only the to bound needs a scan, and
-// that scan stops at the first sample past it.
+// unbounded). Record keeps each series in timestamp order, so the from
+// bound is located by binary search; only the to bound needs a scan,
+// and that scan stops at the first sample past it.
 func (s *Service) window(namespace, metric string, from, to time.Time) []Datum {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -94,6 +109,34 @@ func (s *Service) Max(namespace, metric string, from, to time.Time) float64 {
 	return max
 }
 
+// Min reports the window's minimum (0 for an empty window).
+func (s *Service) Min(namespace, metric string, from, to time.Time) float64 {
+	data := s.window(namespace, metric, from, to)
+	if len(data) == 0 {
+		return 0
+	}
+	min := data[0].Value
+	for _, d := range data[1:] {
+		if d.Value < min {
+			min = d.Value
+		}
+	}
+	return min
+}
+
+// Avg reports the window's arithmetic mean (0 for an empty window).
+func (s *Service) Avg(namespace, metric string, from, to time.Time) float64 {
+	data := s.window(namespace, metric, from, to)
+	if len(data) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, d := range data {
+		sum += d.Value
+	}
+	return sum / float64(len(data))
+}
+
 // Percentile reports the p-th percentile (nearest rank) of the window,
 // 0 for an empty window.
 func (s *Service) Percentile(namespace, metric string, from, to time.Time, p int) float64 {
@@ -131,4 +174,34 @@ func (s *Service) Metrics(namespace string) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Namespaces lists every namespace with at least one recorded series,
+// sorted.
+func (s *Service) Namespaces() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool)
+	for k := range s.series {
+		for i := 0; i < len(k); i++ {
+			if k[i] == 0 {
+				seen[k[:i]] = true
+				break
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for ns := range seen {
+		out = append(out, ns)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SeriesCount reports how many distinct (namespace, metric) series the
+// service stores — the "custom metric" count CloudWatch bills by.
+func (s *Service) SeriesCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.series)
 }

@@ -1,6 +1,9 @@
 package metrics
 
 import (
+	"math"
+	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -157,6 +160,171 @@ func TestMetricsListing(t *testing.T) {
 	}
 	if len(s.Metrics("ghost")) != 0 {
 		t.Fatal("listing for unknown namespace")
+	}
+}
+
+// Regression: window binary-searches on timestamp order, but samples
+// from concurrent request flows can arrive out of order — Record must
+// insertion-sort them into place or every windowed stat silently lies.
+func TestRecordOutOfOrder(t *testing.T) {
+	s := New()
+	// Publish in scrambled order, including a duplicate timestamp.
+	mins := []int{3, 0, 4, 1, 4, 2}
+	for _, m := range mins {
+		s.Record("ns", "m", t0.Add(time.Duration(m)*time.Minute), float64(m))
+	}
+	// The window [1m, 3m] must see exactly minutes 1, 2, 3 regardless of
+	// arrival order; before the fix the binary search skipped samples
+	// stranded before an earlier-timestamped neighbour.
+	if got := s.Count("ns", "m", t0.Add(time.Minute), t0.Add(3*time.Minute)); got != 3 {
+		t.Fatalf("windowed count = %d, want 3", got)
+	}
+	if got := s.Sum("ns", "m", t0.Add(time.Minute), t0.Add(3*time.Minute)); got != 1+2+3 {
+		t.Fatalf("windowed sum = %v, want 6", got)
+	}
+	// The full series must be sorted.
+	all := s.window("ns", "m", time.Time{}, time.Time{})
+	for i := 1; i < len(all); i++ {
+		if all[i-1].At.After(all[i].At) {
+			t.Fatalf("series out of order at %d: %v > %v", i, all[i-1].At, all[i].At)
+		}
+	}
+	// Stability: equal timestamps keep arrival order (both minute-4
+	// samples, first-recorded first). Both have value 4 here, so order
+	// them by a second series with distinct values.
+	s2 := New()
+	s2.Record("ns", "m", t0, 1)
+	s2.Record("ns", "m", t0.Add(time.Minute), 2)
+	s2.Record("ns", "m", t0.Add(time.Minute), 3)
+	got := s2.window("ns", "m", time.Time{}, time.Time{})
+	if got[1].Value != 2 || got[2].Value != 3 {
+		t.Fatalf("equal-timestamp order not stable: %v", got)
+	}
+}
+
+// Property test: all five windowed statistics must agree with a
+// brute-force reference over random series and random windows,
+// including out-of-order recording.
+func TestStatsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		s := New()
+		n := 1 + rng.Intn(60)
+		type sample struct {
+			at time.Time
+			v  float64
+		}
+		samples := make([]sample, n)
+		for i := range samples {
+			samples[i] = sample{
+				at: t0.Add(time.Duration(rng.Intn(120)) * time.Second),
+				v:  math.Round(rng.Float64()*200-50) / 2,
+			}
+			s.Record("ns", "m", samples[i].at, samples[i].v)
+		}
+		for w := 0; w < 10; w++ {
+			from := t0.Add(time.Duration(rng.Intn(130)-5) * time.Second)
+			to := from.Add(time.Duration(rng.Intn(90)) * time.Second)
+			var in []float64
+			for _, sm := range samples {
+				if !sm.at.Before(from) && !sm.at.After(to) {
+					in = append(in, sm.v)
+				}
+			}
+			wantCount := len(in)
+			var wantSum float64
+			wantMin, wantMax := 0.0, 0.0
+			if wantCount > 0 {
+				wantMin, wantMax = in[0], in[0]
+			}
+			for _, v := range in {
+				wantSum += v
+				if v < wantMin {
+					wantMin = v
+				}
+				if v > wantMax {
+					wantMax = v
+				}
+			}
+			wantAvg := 0.0
+			if wantCount > 0 {
+				wantAvg = wantSum / float64(wantCount)
+			}
+			if got := s.Count("ns", "m", from, to); got != wantCount {
+				t.Fatalf("trial %d: count = %d, want %d", trial, got, wantCount)
+			}
+			if got := s.Sum("ns", "m", from, to); math.Abs(got-wantSum) > 1e-9 {
+				t.Fatalf("trial %d: sum = %v, want %v", trial, got, wantSum)
+			}
+			if got := s.Min("ns", "m", from, to); got != wantMin {
+				t.Fatalf("trial %d: min = %v, want %v", trial, got, wantMin)
+			}
+			if got := s.Max("ns", "m", from, to); got != wantMax {
+				t.Fatalf("trial %d: max = %v, want %v", trial, got, wantMax)
+			}
+			if got := s.Avg("ns", "m", from, to); math.Abs(got-wantAvg) > 1e-9 {
+				t.Fatalf("trial %d: avg = %v, want %v", trial, got, wantAvg)
+			}
+			// Percentiles against a sorted copy, every decile.
+			if wantCount > 0 {
+				sorted := append([]float64(nil), in...)
+				sort.Float64s(sorted)
+				for p := 0; p <= 100; p += 10 {
+					rank := (p*wantCount + 99) / 100
+					if rank < 1 {
+						rank = 1
+					}
+					if got, want := s.Percentile("ns", "m", from, to, p), sorted[rank-1]; got != want {
+						t.Fatalf("trial %d: p%d = %v, want %v", trial, p, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Every registered metric name must be well-formed and unique — the
+// same contract the metricname analyzer enforces statically.
+func TestRegistry(t *testing.T) {
+	names := Names()
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if !ValidName(n) {
+			t.Errorf("registered name %q is not lowercase dot-separated", n)
+		}
+		if seen[n] {
+			t.Errorf("registered name %q is duplicated", n)
+		}
+		seen[n] = true
+		if !Registered(n) {
+			t.Errorf("Registered(%q) = false for a listed name", n)
+		}
+	}
+	if Registered("plane.requets") {
+		t.Error("typo'd name reported as registered")
+	}
+	for bad, why := range map[string]string{
+		"Plane.Requests": "uppercase",
+		"plane":          "no dot",
+		"plane..req":     "empty segment",
+		"plane.9req":     "segment starts with a digit",
+		"plane.req-ms":   "dash",
+	} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true (%s)", bad, why)
+		}
+	}
+}
+
+func TestNamespaces(t *testing.T) {
+	s := seeded()
+	s.Record("other-fn", "run-ms", t0, 1)
+	got := s.Namespaces()
+	if len(got) != 2 || got[0] != "chat-fn" || got[1] != "other-fn" {
+		t.Fatalf("namespaces = %v", got)
+	}
+	if s.SeriesCount() != 2 {
+		t.Fatalf("series count = %d", s.SeriesCount())
 	}
 }
 

@@ -100,9 +100,23 @@ type Request struct {
 	Call *Call
 	// Span is the call's open span (nil on untraced flows; all its
 	// methods are nil-safe).
-	Span  *trace.Span
-	plane *Plane
+	Span    *trace.Span
+	plane   *Plane
+	start   time.Time
+	metered []pricing.Usage
 }
+
+// Start reports the flow-cursor instant at which the call entered the
+// plane (zero on cursor-less flows). Interceptors subtract it from the
+// cursor's position after the handler to observe the call's full
+// simulated latency.
+func (r *Request) Start() time.Time { return r.start }
+
+// Metered returns every usage record metered through this request so
+// far — the request fee plus anything the handler added — so
+// interceptors can price or aggregate per-call usage. The slice is the
+// request's own; do not mutate it.
+func (r *Request) Metered() []pricing.Usage { return r.metered }
 
 // MeterUsage meters additional usage discovered during the handler
 // (e.g. transfer-out for an external read), stamped with the caller's
@@ -114,10 +128,19 @@ func (r *Request) MeterUsage(u pricing.Usage) {
 	} else {
 		u.App = ""
 	}
+	r.MeterUsageAs(u)
+}
+
+// MeterUsageAs is MeterUsage without the app restamping: the usage is
+// attributed exactly as the caller built it. Lambda uses it to bill
+// invocations to the function's own app rather than the invoking
+// caller's.
+func (r *Request) MeterUsageAs(u pricing.Usage) {
 	if r.plane.meter != nil {
 		r.plane.meter.Add(u)
 	}
 	r.Span.AddUsage(u)
+	r.metered = append(r.metered, u)
 }
 
 // HandlerFunc is the service-specific stage of a call.
@@ -125,7 +148,10 @@ type HandlerFunc func(*Request) error
 
 // Interceptor wraps the handler stage of every call routed through a
 // plane. Interceptors run after authorization, latency, and metering,
-// in registration order (the first registered is outermost).
+// in registration order (the first registered is outermost). They see
+// denied calls — the wrapped stage returns the authorization error
+// with the service handler skipped — so cross-cutting observers can
+// count denials.
 type Interceptor func(next HandlerFunc) HandlerFunc
 
 // Plane is one service's request pipeline. A nil model disables the
@@ -167,7 +193,7 @@ func (p *Plane) Do(ctx *sim.Context, call *Call, h HandlerFunc) error {
 	for _, a := range call.Annotations {
 		sp.Annotate(a.Key, a.Value)
 	}
-	req := &Request{Ctx: ctx, Call: call, Span: sp, plane: p}
+	req := &Request{Ctx: ctx, Call: call, Span: sp, plane: p, start: ctx.Now()}
 
 	// Stage 2: authorization.
 	var authErr error
@@ -210,17 +236,24 @@ func (p *Plane) Do(ctx *sim.Context, call *Call, h HandlerFunc) error {
 			p.meter.Add(u)
 		}
 		sp.AddUsage(u)
+		req.metered = append(req.metered, u)
 	}
 
-	if authErr != nil {
-		return authErr
+	// Stage 5: handler, wrapped by the interceptor seam. The innermost
+	// stage returns the authorization error without running the service
+	// handler, so interceptors observe denied calls too — fleet-wide
+	// observability counts denials without a side channel — while the
+	// handler itself still runs only when authorization passed.
+	core := func(r *Request) error {
+		if authErr != nil {
+			return authErr
+		}
+		return h(r)
 	}
-
-	// Stage 5: handler, wrapped by the interceptor seam.
 	for i := len(p.extra) - 1; i >= 0; i-- {
-		h = p.extra[i](h)
+		core = p.extra[i](core)
 	}
-	err := h(req)
+	err := core(req)
 	if err != nil && sp != nil {
 		if _, ok := sp.Annotation("error"); !ok {
 			sp.Annotate("error", err.Error())

@@ -209,6 +209,98 @@ func TestInterceptorSeam(t *testing.T) {
 	}
 }
 
+// TestInterceptorSeesDenial: interceptors wrap the handler stage even
+// when authorization fails — the wrapped stage returns ErrDenied with
+// the service handler skipped — so observability interceptors can
+// count denials.
+func TestInterceptorSeesDenial(t *testing.T) {
+	meter := pricing.NewMeter()
+	p := New(iam.New(), meter, netsim.NewDefaultModel()) // no roles: everything denied
+	var observed error
+	calls := 0
+	p.Use(func(next HandlerFunc) HandlerFunc {
+		return func(req *Request) error {
+			calls++
+			observed = next(req)
+			return observed
+		}
+	})
+	ctx, _ := tracedCtx()
+	err := p.Do(ctx, &Call{
+		Service:  "svc",
+		Op:       "Op",
+		Action:   "svc:Op",
+		Resource: "thing/x",
+		Usage:    []pricing.Usage{{Kind: pricing.S3GetRequests, Quantity: 1}},
+	}, func(*Request) error {
+		t.Error("handler ran on a denied call")
+		return nil
+	})
+	if !errors.Is(err, iam.ErrDenied) {
+		t.Fatalf("err = %v, want ErrDenied", err)
+	}
+	if calls != 1 {
+		t.Fatalf("interceptor ran %d times, want 1", calls)
+	}
+	if !errors.Is(observed, iam.ErrDenied) {
+		t.Errorf("interceptor observed %v, want ErrDenied", observed)
+	}
+}
+
+// TestRequestObservability: Start reports the pre-latency cursor
+// instant and Metered accumulates the request fee plus handler-metered
+// usage, so interceptors can derive latency and cost per call.
+func TestRequestObservability(t *testing.T) {
+	meter := pricing.NewMeter()
+	p := New(allowAll(t), meter, netsim.NewDefaultModel())
+	ctx, _ := tracedCtx()
+
+	var req *Request
+	p.Use(func(next HandlerFunc) HandlerFunc {
+		return func(r *Request) error {
+			req = r
+			return next(r)
+		}
+	})
+	err := p.Do(ctx, &Call{
+		Service: "svc",
+		Op:      "Op",
+		Action:  "svc:Op",
+		Latency: &Latency{Hop: netsim.HopS3},
+		Usage:   []pricing.Usage{{Kind: pricing.S3GetRequests, Quantity: 1}},
+	}, func(r *Request) error {
+		r.MeterUsage(pricing.Usage{Kind: pricing.TransferOutGB, Quantity: 2})
+		r.MeterUsageAs(pricing.Usage{Kind: pricing.LambdaRequests, Quantity: 1, App: "fn-app"})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Start() != t0 {
+		t.Errorf("Start() = %v, want the call instant %v", req.Start(), t0)
+	}
+	if !ctx.Now().After(req.Start()) {
+		t.Error("cursor did not advance past Start(); latency unobservable")
+	}
+	us := req.Metered()
+	if len(us) != 3 {
+		t.Fatalf("Metered() = %d records, want request fee + 2 handler records", len(us))
+	}
+	if us[0].Kind != pricing.S3GetRequests || us[0].App != "app" {
+		t.Errorf("request fee = %+v", us[0])
+	}
+	if us[1].Kind != pricing.TransferOutGB || us[1].App != "app" {
+		t.Errorf("MeterUsage record = %+v, want app restamped", us[1])
+	}
+	if us[2].Kind != pricing.LambdaRequests || us[2].App != "fn-app" {
+		t.Errorf("MeterUsageAs record = %+v, want caller's attribution kept", us[2])
+	}
+	// Both meter paths really metered.
+	if meter.Total(pricing.TransferOutGB) != 2 || meter.Total(pricing.LambdaRequests) != 1 {
+		t.Error("handler-metered usage missing from the meter")
+	}
+}
+
 // TestHandlerErrorAnnotation: a failing handler annotates the span
 // with its error, but never overwrites an annotation the handler set
 // itself.

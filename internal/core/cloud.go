@@ -20,6 +20,7 @@ import (
 	"repro/internal/cloudsim/lambda"
 	"repro/internal/cloudsim/metrics"
 	"repro/internal/cloudsim/netsim"
+	"repro/internal/cloudsim/plane"
 	"repro/internal/cloudsim/s3"
 	"repro/internal/cloudsim/ses"
 	"repro/internal/cloudsim/sqs"
@@ -62,6 +63,12 @@ type CloudOptions struct {
 	NetParams *netsim.Params
 	// Book overrides the price book (Default2017 if nil).
 	Book *pricing.PriceBook
+	// DisableObservability skips installing the metrics interceptor on
+	// the service planes. Observability is on by default — the DIY
+	// operator has no provider dashboard, so the cloud publishes its
+	// own RED+cost series; parity tests flip this to prove the
+	// interceptor never moves a ledger number.
+	DisableObservability bool
 }
 
 // NewCloud builds a fully wired simulated provider.
@@ -102,6 +109,16 @@ func NewCloud(opts CloudOptions) (*Cloud, error) {
 	c.Tracer = trace.NewRecorder(trace.DefaultCapacity)
 	c.Lambda.SetMetrics(c.Metrics)
 	c.Lambda.SetServices(lambda.Services{KMS: c.KMS, S3: c.S3, SQS: c.SQS, Dynamo: c.Dynamo, Email: c.SES})
+
+	if !opts.DisableObservability {
+		obs := metrics.PlaneInterceptor(c.Metrics, c.Book, c.Clock)
+		for _, pl := range []*plane.Plane{
+			c.KMS.Plane(), c.S3.Plane(), c.Dynamo.Plane(), c.SQS.Plane(),
+			c.Lambda.Plane(), c.EC2.Plane(), c.SES.Plane(), c.Gateway.Plane(),
+		} {
+			pl.Use(obs)
+		}
+	}
 
 	att, err := attest.NewPlatform()
 	if err != nil {

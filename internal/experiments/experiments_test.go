@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/apps/chat"
+	"repro/internal/cloudsim/metrics"
 	"repro/internal/core"
 	"repro/internal/pricing"
 )
@@ -438,10 +439,10 @@ func TestTable3AgreesWithMonitoring(t *testing.T) {
 		}
 	}
 	var zero time.Time
-	medRun := cloud.Metrics.Percentile(d.FnName, "run-ms", zero, zero, 50)
-	medBilled := cloud.Metrics.Percentile(d.FnName, "billed-ms", zero, zero, 50)
-	peak := cloud.Metrics.Max(d.FnName, "peak-mb", zero, zero)
-	coldSum := cloud.Metrics.Sum(d.FnName, "cold", zero, zero)
+	medRun := cloud.Metrics.Percentile(d.FnName, metrics.MetricLambdaRunMs, zero, zero, 50)
+	medBilled := cloud.Metrics.Percentile(d.FnName, metrics.MetricLambdaBilledMs, zero, zero, 50)
+	peak := cloud.Metrics.Max(d.FnName, metrics.MetricLambdaPeakMB, zero, zero)
+	coldSum := cloud.Metrics.Sum(d.FnName, metrics.MetricLambdaCold, zero, zero)
 	if medRun < 120 || medRun > 150 {
 		t.Errorf("monitored median run = %v ms", medRun)
 	}
@@ -455,7 +456,7 @@ func TestTable3AgreesWithMonitoring(t *testing.T) {
 	if coldSum != 1 {
 		t.Errorf("monitored cold starts = %v", coldSum)
 	}
-	if n := cloud.Metrics.Count(d.FnName, "run-ms", zero, zero); n != 101 {
+	if n := cloud.Metrics.Count(d.FnName, metrics.MetricLambdaRunMs, zero, zero); n != 101 {
 		t.Errorf("monitored samples = %d, want 101", n)
 	}
 }

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cloudsim/metrics"
+)
+
+// The acceptance gate for the observability layer: Table 3 numbers
+// reconstructed purely from auto-published series must equal the ones
+// measured directly from InvocationStats (the pinned table3 golden).
+func TestMetrics3MatchesTable3(t *testing.T) {
+	m3, err := RunMetrics3(Table3Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := RunTable3(Table3Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.MedBilled != t3.MedBilled {
+		t.Errorf("metrics-derived MedBilled = %v, stats-derived = %v", m3.MedBilled, t3.MedBilled)
+	}
+	if m3.MedBilled != 200*time.Millisecond {
+		t.Errorf("MedBilled = %v, want the paper's 200ms", m3.MedBilled)
+	}
+	if m3.PeakMemoryMB != t3.PeakMemoryMB {
+		t.Errorf("metrics-derived peak = %d MB, stats-derived = %d MB", m3.PeakMemoryMB, t3.PeakMemoryMB)
+	}
+	if m3.ColdStarts != t3.ColdStarts {
+		t.Errorf("metrics-derived cold starts = %d, stats-derived = %d", m3.ColdStarts, t3.ColdStarts)
+	}
+	if m3.MedRunMs < 120 || m3.MedRunMs > 150 {
+		t.Errorf("metrics-derived median run = %v ms, want the paper's ≈134ms band", m3.MedRunMs)
+	}
+	if m3.Invocations != m3.Samples {
+		t.Errorf("lambda plane requests in window = %d, want one per send (%d)", m3.Invocations, m3.Samples)
+	}
+	if len(m3.Rows) == 0 {
+		t.Fatal("no per-op RED rows published")
+	}
+	// The budget alarm must have gone INSUFFICIENT_DATA -> OK -> ALARM
+	// on the default run's spend.
+	states := []metrics.AlarmState{metrics.StateInsufficient}
+	for _, tr := range m3.BudgetTransitions {
+		if tr.From != states[len(states)-1] {
+			t.Errorf("transition %v does not chain from %v", tr, states[len(states)-1])
+		}
+		states = append(states, tr.To)
+	}
+	if states[len(states)-1] != metrics.StateAlarm {
+		t.Errorf("budget alarm ended %v, want ALARM (spend crosses the demo budget)", states[len(states)-1])
+	}
+}
+
+// The parity proof the tentpole rides on: installing the metrics
+// interceptor must not move a single duration or nanodollar in the
+// Table 3 run.
+func TestObservabilityPreservesLedger(t *testing.T) {
+	on, err := RunTable3(Table3Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := RunTable3(Table3Config{DisableObservability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *on != *off {
+		t.Errorf("observability changed the measured run:\n  on:  %+v\n  off: %+v", on, off)
+	}
+}
+
+func TestLedgerParityMetrics3(t *testing.T) {
+	m3, err := RunMetrics3(Table3Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString(m3.Render())
+	// Raw fingerprint below the rendered table, like the other parity
+	// goldens: every derived number at full precision.
+	fmt.Fprintf(&sb, "raw: billed=%dns runms=%v peak=%dMB cold=%d invocations=%d series=%d alarms=%d obslist=%dnd obsbilled=%dnd transitions=%d\n",
+		int64(m3.MedBilled), m3.MedRunMs, m3.PeakMemoryMB, m3.ColdStarts, m3.Invocations,
+		m3.SeriesCount, m3.AlarmCount, int64(m3.ObsList), int64(m3.ObsBilled), len(m3.BudgetTransitions))
+	checkGolden(t, "ledger_metrics3.golden", sb.String())
+}

@@ -44,6 +44,11 @@ type Table3Config struct {
 	Backend string
 	// Seed overrides the latency model's random seed (0 = default).
 	Seed int64
+	// DisableObservability turns off the plane metrics interceptor.
+	// The parity test runs the prototype both ways and requires
+	// bit-identical results: observability must never perturb what it
+	// observes.
+	DisableObservability bool
 }
 
 // RunTable3 deploys the chat prototype on a fresh simulated cloud,
@@ -60,7 +65,7 @@ func RunTable3(cfg Table3Config) (*Table3, error) {
 		cfg.GapBetweenSends = 40 * time.Second
 	}
 
-	opts := core.CloudOptions{Name: "table3"}
+	opts := core.CloudOptions{Name: "table3", DisableObservability: cfg.DisableObservability}
 	if cfg.Seed != 0 {
 		params := netsim.DefaultParams()
 		params.Seed = cfg.Seed

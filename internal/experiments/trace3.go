@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/apps/chat"
+	"repro/internal/cloudsim/metrics"
 	"repro/internal/cloudsim/netsim"
 	"repro/internal/cloudsim/trace"
 	"repro/internal/core"
@@ -138,9 +139,9 @@ func RunTrace3(sends int, seed int64) (*Trace3, error) {
 		Samples:          sends,
 		ColdStarts:       cold,
 		MedBilledTraces:  nearestRankDur(billed, 50),
-		MedBilledMetrics: time.Duration(cloud.Metrics.Percentile(d.FnName, "billed-ms", measureFrom, time.Time{}, 50) * float64(time.Millisecond)),
+		MedBilledMetrics: time.Duration(cloud.Metrics.Percentile(d.FnName, metrics.MetricLambdaBilledMs, measureFrom, time.Time{}, 50) * float64(time.Millisecond)),
 		MedRunTraces:     nearestRankDur(run, 50),
-		MedRunMetrics:    time.Duration(cloud.Metrics.Percentile(d.FnName, "run-ms", measureFrom, time.Time{}, 50) * float64(time.Millisecond)),
+		MedRunMetrics:    time.Duration(cloud.Metrics.Percentile(d.FnName, metrics.MetricLambdaRunMs, measureFrom, time.Time{}, 50) * float64(time.Millisecond)),
 		MedCostPerSend:   medianMoney(costs),
 		Example:          example,
 	}

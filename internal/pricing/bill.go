@@ -179,6 +179,23 @@ func Compute(book *PriceBook, m *Meter) *Bill {
 		Cost: book.DynamoPerMillionRCU.MulFloat(br / 1e6),
 	})
 
+	// CloudWatch: custom metrics and alarms, metered as monthly
+	// inventory counts (the metrics service reports them via Usage()).
+	cwm := m.Total(CWMetricMonths)
+	bcwm := billable(cwm, book.CWFreeMetrics)
+	add(Line{
+		Kind: CWMetricMonths, Detail: "cloudwatch metric-months",
+		Quantity: cwm, Billable: bcwm,
+		Cost: book.CWPerMetricMonth.MulFloat(bcwm),
+	})
+	cwa := m.Total(CWAlarmMonths)
+	bcwa := billable(cwa, book.CWFreeAlarms)
+	add(Line{
+		Kind: CWAlarmMonths, Detail: "cloudwatch alarm-months",
+		Quantity: cwa, Billable: bcwa,
+		Cost: book.CWPerAlarmMonth.MulFloat(bcwa),
+	})
+
 	// EC2, one line per instance type for readability.
 	byType := m.ByResource(EC2Seconds)
 	types := make([]string, 0, len(byType))

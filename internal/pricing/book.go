@@ -65,6 +65,15 @@ type PriceBook struct {
 
 	// EC2 on-demand hourly prices by instance type, billed per second.
 	EC2HourlyByType map[string]Money
+
+	// CloudWatch: custom metrics at $0.30 per metric per month and
+	// alarms at $0.10 per alarm per month (2017 list), with the first
+	// ten of each free every month. The DIY operator's self-hosted
+	// monitoring (the plane interceptor's RED+cost series) bills here.
+	CWPerMetricMonth Money
+	CWPerAlarmMonth  Money
+	CWFreeMetrics    float64
+	CWFreeAlarms     float64
 }
 
 // Default2017 returns the mid-2017 AWS us-west-2 list prices.
@@ -104,6 +113,11 @@ func Default2017() *PriceBook {
 			"t2.medium": FromDollars(0.0464),
 			"t2.large":  FromDollars(0.0928),
 		},
+
+		CWPerMetricMonth: FromDollars(0.30),
+		CWPerAlarmMonth:  FromDollars(0.10),
+		CWFreeMetrics:    10,
+		CWFreeAlarms:     10,
 	}
 }
 
@@ -120,6 +134,8 @@ func (b *PriceBook) WithoutFreeTiers() *PriceBook {
 	cp.SESFreeMessages = 0
 	cp.DynamoFreeWCU = 0
 	cp.DynamoFreeRCU = 0
+	cp.CWFreeMetrics = 0
+	cp.CWFreeAlarms = 0
 	return &cp
 }
 
@@ -161,6 +177,10 @@ func (b *PriceBook) ListPrice(u Usage) Money {
 		return b.DynamoPerMillionRCU.MulFloat(u.Quantity / 1e6)
 	case EC2Seconds:
 		return b.EC2Hourly(u.Resource).MulFloat(u.Quantity / 3600)
+	case CWMetricMonths:
+		return b.CWPerMetricMonth.MulFloat(u.Quantity)
+	case CWAlarmMonths:
+		return b.CWPerAlarmMonth.MulFloat(u.Quantity)
 	}
 	return 0
 }

@@ -23,6 +23,8 @@ const (
 	EC2Seconds      Kind = "ec2-seconds"       // seconds (Resource = instance type)
 	DynamoWCU       Kind = "dynamo-wcu"        // consumed write capacity units
 	DynamoRCU       Kind = "dynamo-rcu"        // consumed read capacity units
+	CWMetricMonths  Kind = "cw-metric-months"  // custom-metric months (CloudWatch)
+	CWAlarmMonths   Kind = "cw-alarm-months"   // alarm-months (CloudWatch)
 )
 
 // Usage is one metered quantity.

@@ -30,6 +30,11 @@ func FromDollars(d float64) Money {
 // Dollars reports the amount as a float64 dollar value.
 func (m Money) Dollars() float64 { return float64(m) / float64(Dollar) }
 
+// Nanodollars reports the amount as an integer nanodollar count, the
+// unit the metrics service stores cost series in (int64 keeps the
+// float conversion outside pricing exact and diylint-clean).
+func (m Money) Nanodollars() int64 { return int64(m) }
+
 // MulFloat scales the amount by a quantity, rounding to the nearest
 // nanodollar. Used for fractional usage such as 3750.5 GB-seconds.
 func (m Money) MulFloat(q float64) Money {

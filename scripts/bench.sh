@@ -1,0 +1,26 @@
+#!/bin/sh
+# bench.sh — snapshot the cloudsim hot-path benchmarks into
+# BENCH_cloudsim.json so interceptor-chain and window-lookup
+# regressions show up as a diff. `make bench` runs this.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_cloudsim.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkDoInterceptors|BenchmarkWindowNarrow' -benchmem \
+	./internal/cloudsim/plane ./internal/cloudsim/metrics | tee "$RAW"
+
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	printf "%s  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $2, $3, $5, $7
+	sep = ",\n"
+}
+END { print "\n]" }
+' "$RAW" >"$OUT"
+
+echo "bench: wrote $OUT"

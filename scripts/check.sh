@@ -7,11 +7,24 @@ cd "$(dirname "$0")/.."
 echo ">> go vet ./..."
 go vet ./...
 
-echo ">> diylint ./... (domain invariants: wallclock, globalrand, moneyfloat, spanhygiene, planeroute, droppederr)"
+echo ">> diylint ./... (domain invariants: wallclock, globalrand, moneyfloat, spanhygiene, planeroute, metricname, droppederr)"
 go run ./cmd/diylint ./...
 
-echo ">> ledger parity (Tables 1-3 bit-identical to committed goldens)"
-go test ./internal/experiments -run TestLedgerParity
+echo ">> ledger parity (Tables 1-3 + metrics3 bit-identical to committed goldens; observability on == off)"
+go test ./internal/experiments -run 'TestLedgerParity|TestObservabilityPreservesLedger'
+
+echo ">> alarm determinism (two identically-seeded runs, transition logs diffed)"
+LOG1=$(mktemp) LOG2=$(mktemp)
+trap 'rm -f "$LOG1" "$LOG2"' EXIT
+go test ./internal/cloudsim/metrics -run TestAlarmTransitionsDeterministic -count=1 -v 2>&1 \
+	| grep 'transition:' >"$LOG1"
+go test ./internal/cloudsim/metrics -run TestAlarmTransitionsDeterministic -count=1 -v 2>&1 \
+	| grep 'transition:' >"$LOG2"
+if ! [ -s "$LOG1" ]; then
+	echo "check: alarm determinism test produced no transitions" >&2
+	exit 1
+fi
+diff "$LOG1" "$LOG2"
 
 echo ">> go test -race ./..."
 go test -race ./...
