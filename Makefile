@@ -15,9 +15,8 @@ vet:
 
 # lint runs diylint, the repo's domain-invariant analyzer suite
 # (wallclock, globalrand, moneyfloat, spanhygiene, planeroute,
-# metricname, droppederr). Deliberate findings live in .diylint-allow
-# with a
-# justification.
+# metricname, loggroup, droppederr). Deliberate findings live in
+# .diylint-allow with a justification.
 lint:
 	$(GO) run ./cmd/diylint ./...
 
@@ -28,6 +27,7 @@ check:
 	sh scripts/check.sh
 
 # bench snapshots the cloudsim hot-path benchmarks (plane.Do under
-# interceptor chains, metrics window lookup) into BENCH_cloudsim.json.
+# interceptor chains, metrics window lookup, log ingestion, Insights
+# scans) into BENCH_cloudsim.json.
 bench:
 	sh scripts/bench.sh

@@ -7,6 +7,7 @@
 //	diyctl store     # app-store walkthrough: publish, install, report
 //	diyctl trace     # flame-style trace of one chat send, with dollars
 //	diyctl metrics   # CloudWatch-sim dashboard: RED metrics, alarms, cost
+//	diyctl logs      # CloudWatch Logs-sim: REPORT lines, Insights queries
 //	diyctl tcb       # print the trusted-computing-base comparison
 //	diyctl bill      # price the paper's Table 2 workloads
 package main
@@ -49,6 +50,8 @@ func main() {
 		err = traceDemo()
 	case "metrics":
 		err = metricsDemo()
+	case "logs":
+		err = logsDemo()
 	case "bill":
 		fmt.Println(experiments.RenderTable2(experiments.RunTable2()))
 	default:
@@ -61,7 +64,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: diyctl <demo|store|attest|stream|trace|metrics|tcb|bill>")
+	fmt.Fprintln(os.Stderr, "usage: diyctl <demo|store|attest|stream|trace|metrics|logs|tcb|bill>")
 }
 
 // demo runs the end-to-end scenario: deploy chat and email for a user,

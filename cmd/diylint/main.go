@@ -2,7 +2,8 @@
 // virtual-time purity (wallclock), seeded randomness (globalrand),
 // nanodollar money discipline (moneyfloat), trace-span coverage
 // (spanhygiene), plane routing (planeroute), metric-name registry
-// discipline (metricname), and discarded errors (droppederr).
+// discipline (metricname), log-group registry discipline (loggroup),
+// and discarded errors (droppederr).
 //
 // Usage:
 //

@@ -59,6 +59,10 @@ func main() {
 		m3, err := experiments.RunMetrics3(experiments.Table3Config{Sends: *sends, Seed: *seed})
 		check(err)
 		fmt.Println(m3.Render())
+
+		l3, err := experiments.RunLogs3(experiments.Table3Config{Sends: *sends, Seed: *seed})
+		check(err)
+		fmt.Println(l3.Render())
 	}
 	if all || *figure == 1 {
 		tr, err := experiments.RunFigure1()

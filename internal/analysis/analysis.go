@@ -18,6 +18,10 @@
 //   - metricname: metric series names are registry constants from
 //     internal/cloudsim/metrics, lowercase dot-separated and passed by
 //     constant reference, so a typo cannot silently split a series;
+//   - loggroup: log group names are registry expressions from
+//     internal/cloudsim/logs, lowercase slash-separated and passed by
+//     constant or deriver call, so a typo cannot fork the evidence
+//     trail into an unwatched group;
 //   - droppederr: internal/cloudsim never discards an error with `_ =`.
 //
 // The driver is stdlib-only (go/ast, go/parser, go/types): the repo is
@@ -89,6 +93,7 @@ func Analyzers() []*Analyzer {
 		SpanHygiene,
 		PlaneRoute,
 		MetricName,
+		LogGroup,
 		DroppedErr,
 	}
 }

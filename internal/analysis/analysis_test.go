@@ -35,6 +35,8 @@ var fixtureDirs = []string{
 	"internal/cloudsim/planegood",
 	"internal/cloudsim/metricbad",
 	"internal/cloudsim/metricgood",
+	"internal/cloudsim/loggroupbad",
+	"internal/cloudsim/loggroupgood",
 	"internal/cloudsim/errbad",
 	"internal/cloudsim/errgood",
 	"moneybad",
@@ -85,6 +87,7 @@ var goldenCases = []struct {
 	{SpanHygiene, "internal/cloudsim/spanbad", "internal/cloudsim/spangood"},
 	{PlaneRoute, "internal/cloudsim/planebad", "internal/cloudsim/planegood"},
 	{MetricName, "internal/cloudsim/metricbad", "internal/cloudsim/metricgood"},
+	{LogGroup, "internal/cloudsim/loggroupbad", "internal/cloudsim/loggroupgood"},
 	{DroppedErr, "internal/cloudsim/errbad", "internal/cloudsim/errgood"},
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cloudsim/clock"
 	"repro/internal/cloudsim/iam"
+	"repro/internal/cloudsim/logs"
 	"repro/internal/cloudsim/netsim"
 	"repro/internal/cloudsim/plane"
 	"repro/internal/cloudsim/sim"
@@ -74,6 +75,7 @@ type Service struct {
 	mu    sync.Mutex
 	keys  map[string]*masterKey
 	audit []AuditEntry
+	logs  *logs.Service
 }
 
 // New returns a KMS wired to the given IAM, meter, network model and
@@ -250,6 +252,17 @@ func (s *Service) ImportWrapped(ctx *sim.Context, dataKey []byte, keyID string) 
 	return out, nil
 }
 
+// SetLogs wires a log service; every audit entry is then also emitted
+// as a structured event into the "kms/audit" log group, so the
+// "hardened, audited system" evidence trail the paper's trust argument
+// rests on is queryable alongside the rest of the log plane. The
+// in-memory log behind Audit() remains the source of truth.
+func (s *Service) SetLogs(l *logs.Service) {
+	s.mu.Lock()
+	s.logs = l
+	s.mu.Unlock()
+}
+
 // Audit returns a copy of the audit log.
 func (s *Service) Audit() []AuditEntry {
 	s.mu.Lock()
@@ -282,15 +295,30 @@ func (s *Service) do(ctx *sim.Context, action, keyID string, h plane.HandlerFunc
 	if at.IsZero() {
 		at = s.clk.Now()
 	}
-	s.mu.Lock()
-	s.audit = append(s.audit, AuditEntry{
+	entry := AuditEntry{
 		Time:      at,
 		Principal: principal,
 		Action:    action,
 		KeyID:     keyID,
 		Allowed:   !errors.Is(err, iam.ErrDenied),
-	})
+	}
+	s.mu.Lock()
+	s.audit = append(s.audit, entry)
+	lg := s.logs
 	s.mu.Unlock()
+	if lg != nil {
+		lg.PutEvents(logs.LogGroupKMSAudit, "audit", logs.Event{
+			Time: entry.Time,
+			Message: fmt.Sprintf("principal=%s action=%s key=%s allowed=%t",
+				entry.Principal, entry.Action, entry.KeyID, entry.Allowed),
+			Fields: map[string]string{
+				"principal": entry.Principal,
+				"action":    entry.Action,
+				"key_id":    entry.KeyID,
+				"allowed":   fmt.Sprintf("%t", entry.Allowed),
+			},
+		})
+	}
 	return err
 }
 

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/cloudsim/clock"
+	"repro/internal/cloudsim/logs"
 	"repro/internal/cloudsim/metrics"
 	"repro/internal/cloudsim/netsim"
 	"repro/internal/cloudsim/plane"
@@ -197,6 +198,8 @@ type Platform struct {
 	concLimit  int
 	concurrent int
 	metrics    *metrics.Service
+	logs       *logs.Service
+	nextReqID  int64
 }
 
 // New returns a platform wired to the meter, the network model and a
@@ -228,6 +231,19 @@ func (p *Platform) Plane() *plane.Plane { return p.pl }
 func (p *Platform) SetMetrics(m *metrics.Service) {
 	p.mu.Lock()
 	p.metrics = m
+	p.mu.Unlock()
+}
+
+// SetLogs wires a log service; each invocation then writes the
+// platform's START/END/REPORT lines — the 2017 service's shape, with
+// Duration, Billed Duration (the 100 ms quantum), Memory Size, Max
+// Memory Used, and Init Duration on cold starts — into log group
+// "lambda/<function>", the simulator's /aws/lambda/<function>. These
+// lines are the operator-facing evidence of per-invoke billing the
+// paper's Table 3 numbers would be read from on real AWS.
+func (p *Platform) SetLogs(l *logs.Service) {
+	p.mu.Lock()
+	p.logs = l
 	p.mu.Unlock()
 }
 
@@ -452,9 +468,11 @@ func (p *Platform) Invoke(ctx *sim.Context, fnName string, event Event) (Respons
 		lsp.Annotate("region", region)
 		lsp.Annotate("memory_mb", strconv.Itoa(fn.MemoryMB))
 		lsp.Annotate("cold_start", strconv.FormatBool(cold))
+		var initDur time.Duration
 		if cold {
 			csp := lsp.StartChild("lambda", "cold-start", invCursor.Now())
-			invCursor.Advance(p.sample(netsim.HopColdStart))
+			initDur = p.sample(netsim.HopColdStart)
+			invCursor.Advance(initDur)
 			csp.Finish(invCursor.Now())
 		}
 
@@ -526,6 +544,37 @@ func (p *Platform) Invoke(ctx *sim.Context, fnName string, event Event) (Respons
 				coldVal = 1
 			}
 			mon.Record(fnName, metrics.MetricLambdaCold, start, coldVal)
+		}
+
+		// Write the platform's log lines. The request id is minted from a
+		// platform counter only when a log service is wired, and the
+		// whole block is read-only otherwise — no meter, rand, or cursor
+		// effect — so logging on vs off cannot move the ledger.
+		p.mu.Lock()
+		lg := p.logs
+		var reqID string
+		if lg != nil {
+			p.nextReqID++
+			reqID = fmt.Sprintf("00000000-0000-4000-8000-%012x", p.nextReqID)
+		}
+		p.mu.Unlock()
+		if lg != nil {
+			stream := start.UTC().Format("2006/01/02") +
+				fmt.Sprintf("/[$LATEST]container-%06d", cont.id)
+			report := fmt.Sprintf(
+				"REPORT RequestId: %s\tDuration: %.2f ms\tBilled Duration: %d ms\tMemory Size: %d MB\tMax Memory Used: %d MB",
+				reqID, float64(run)/float64(time.Millisecond),
+				stats.BilledTime.Milliseconds(), fn.MemoryMB, stats.PeakMemoryBytes>>20)
+			if cold {
+				report += fmt.Sprintf("\tInit Duration: %.2f ms",
+					float64(initDur)/float64(time.Millisecond))
+			}
+			endAt := start.Add(run)
+			lg.PutEvents(logs.LambdaGroup(fnName), stream,
+				logs.Event{Time: start, Message: "START RequestId: " + reqID + " Version: $LATEST"},
+				logs.Event{Time: endAt, Message: "END RequestId: " + reqID},
+				logs.Event{Time: endAt, Message: report},
+			)
 		}
 
 		// Release the container.

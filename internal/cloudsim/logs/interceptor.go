@@ -1,0 +1,79 @@
+package logs
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/cloudsim/clock"
+	"repro/internal/cloudsim/iam"
+	"repro/internal/cloudsim/plane"
+	"repro/internal/pricing"
+)
+
+// PlaneInterceptor returns a plane.Use interceptor that appends one
+// structured log event per call routed through the plane it is
+// installed on — the logs-side twin of metrics.PlaneInterceptor. The
+// event lands in group "plane/<service>", stream "<op>", timestamped
+// at the flow cursor's post-call instant (falling back to the service
+// clock for cursor-less flows), with the outcome, principal, app,
+// consumed latency, and the call's list-priced cost as structured
+// fields plus a compact key=value message rendering.
+//
+// Like the metrics interceptor it only reads the request — it never
+// meters, samples randomness, or advances a cursor — so installing it
+// cannot move a ledger-parity golden by a nanodollar
+// (TestLogsPreserveLedger proves bit-identity with logging off).
+func PlaneInterceptor(s *Service, book *pricing.PriceBook, clk clock.Clock) plane.Interceptor {
+	return func(next plane.HandlerFunc) plane.HandlerFunc {
+		return func(req *plane.Request) error {
+			err := next(req)
+
+			at := req.Ctx.Now()
+			if at.IsZero() && clk != nil {
+				at = clk.Now()
+			}
+			outcome := "ok"
+			switch {
+			case errors.Is(err, iam.ErrDenied):
+				outcome = "denied"
+			case err != nil:
+				outcome = "error"
+			}
+			var cost pricing.Money
+			for _, u := range req.Metered() {
+				cost += book.ListPrice(u)
+			}
+			fields := map[string]string{
+				"service":          req.Call.Service,
+				"op":               req.Call.Op,
+				"outcome":          outcome,
+				"cost_nanodollars": strconv.FormatInt(cost.Nanodollars(), 10),
+			}
+			if req.Ctx != nil {
+				if req.Ctx.Principal != "" {
+					fields["principal"] = req.Ctx.Principal
+				}
+				if req.Ctx.App != "" {
+					fields["app"] = req.Ctx.App
+				}
+			}
+			latency := "-"
+			if start := req.Start(); !start.IsZero() && !at.Before(start) {
+				ms := float64(at.Sub(start)) / float64(time.Millisecond)
+				latency = strconv.FormatFloat(ms, 'f', 3, 64)
+				fields["latency_ms"] = latency
+			}
+			if err != nil {
+				fields["error"] = err.Error()
+			}
+			msg := fmt.Sprintf("%s:%s outcome=%s latency_ms=%s cost_nanodollars=%d principal=%s",
+				req.Call.Service, req.Call.Op, outcome, latency,
+				cost.Nanodollars(), fields["principal"])
+			s.PutEvents(PlaneGroup(req.Call.Service), req.Call.Op,
+				Event{Time: at, Message: msg, Fields: fields})
+			return err
+		}
+	}
+}

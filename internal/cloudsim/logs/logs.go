@@ -1,0 +1,387 @@
+// Package logs simulates CloudWatch Logs, the third leg of the
+// observability stack (traces §6, metrics §8, logs §9 of DESIGN.md).
+// On real AWS the paper's headline numbers are exactly what an
+// operator reads off this service: Lambda's `REPORT RequestId: …
+// Duration … Billed Duration … Max Memory Used` lines are the primary
+// operator-facing evidence of per-invoke billing.
+//
+// The simulator stores append-only structured events in log groups and
+// streams, stamped with virtual-clock timestamps and deterministic
+// sequence tokens, under per-group retention policies. A single plane
+// interceptor (PlaneInterceptor) auto-emits one event per service API
+// call, the lambda platform writes real-shaped START/END/REPORT lines
+// per invocation, and a Logs Insights-style query engine (query.go)
+// answers `fields | filter | parse | stats | sort | limit` pipelines
+// over the stored events. Ingest and storage are billed at the 2017
+// CloudWatch Logs rates through the same PriceBook/meter/bill engine
+// as every other service.
+//
+// Logging is read-only with respect to the economy: nothing in this
+// package touches the account meter, samples randomness, or advances a
+// flow cursor, so a run with logging on is bit-identical to one with
+// logging off (TestLogsPreserveLedger proves it).
+package logs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cloudsim/clock"
+	"repro/internal/pricing"
+)
+
+// EventOverheadBytes is the per-event ingestion overhead CloudWatch
+// Logs adds to the message payload when metering ingested bytes (26
+// bytes per event, per the 2017 pricing page).
+const EventOverheadBytes = 26
+
+// Event is one structured log event as handed to PutEvents.
+type Event struct {
+	// Time is the event timestamp on the emitter's (virtual) timeline.
+	Time time.Time
+	// Message is the log line. Lambda platform lines are plain text in
+	// the real service's shape; plane events carry a compact key=value
+	// rendering of Fields.
+	Message string
+	// Fields is the event's structured payload; the query engine
+	// exposes each key as a queryable field. Nil for plain lines, whose
+	// fields are extracted with `parse` instead.
+	Fields map[string]string
+}
+
+// StoredEvent is an event at rest: the payload plus its storage
+// coordinates and deterministic per-stream sequence number.
+type StoredEvent struct {
+	Event
+	Group  string
+	Stream string
+	Seq    int64
+}
+
+// stream is one append-only event sequence inside a group.
+type stream struct {
+	name    string
+	events  []StoredEvent
+	nextSeq int64
+}
+
+// group is a named set of streams under one retention policy.
+type group struct {
+	name      string
+	streams   map[string]*stream
+	retention time.Duration // 0 = keep forever
+}
+
+// GroupInfo summarizes one log group for inventory listings.
+type GroupInfo struct {
+	Name      string
+	Streams   int
+	Events    int
+	Bytes     int64
+	Retention time.Duration
+}
+
+// Service is the simulated CloudWatch Logs store. It is safe for
+// concurrent use.
+type Service struct {
+	clk clock.Clock
+
+	mu            sync.Mutex
+	groups        map[string]*group
+	ingestedBytes int64
+	storedBytes   int64
+}
+
+// New returns an empty log service over the given clock (nil defaults
+// to the wall clock); the clock timestamps events whose emitter passes
+// a zero time.
+func New(clk clock.Clock) *Service {
+	if clk == nil {
+		clk = clock.Wall{}
+	}
+	return &Service{clk: clk, groups: make(map[string]*group)}
+}
+
+// CreateGroup provisions a log group. Creating an existing group is a
+// no-op, as emitters and operators race benignly to ensure their group
+// exists.
+func (s *Service) CreateGroup(name string) {
+	s.mu.Lock()
+	s.ensureGroup(name)
+	s.mu.Unlock()
+}
+
+// SetRetention sets a group's retention policy (0 keeps events
+// forever), creating the group if needed. Expiry happens when
+// ApplyRetention is called with a later virtual instant — retention is
+// explicit and clock-driven, never a background timer, so runs stay
+// deterministic.
+func (s *Service) SetRetention(name string, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	s.ensureGroup(name).retention = d
+	s.mu.Unlock()
+}
+
+// Retention reports a group's retention policy (0 = keep forever).
+func (s *Service) Retention(name string) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, ok := s.groups[name]; ok {
+		return g.retention
+	}
+	return 0
+}
+
+// PutEvents appends events to a stream, creating group and stream on
+// first use, and returns the stream's next sequence token. Events with
+// a zero Time are stamped with the service clock. Ingested bytes
+// (message + fields + the per-event overhead) accrue to the usage
+// inventory that Usage() prices.
+func (s *Service) PutEvents(groupName, streamName string, events ...Event) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.ensureGroup(groupName)
+	st, ok := g.streams[streamName]
+	if !ok {
+		st = &stream{name: streamName}
+		g.streams[streamName] = st
+	}
+	for _, e := range events {
+		if e.Time.IsZero() {
+			e.Time = s.clk.Now()
+		}
+		b := eventBytes(e)
+		s.ingestedBytes += b
+		s.storedBytes += b
+		st.events = append(st.events, StoredEvent{
+			Event:  e,
+			Group:  groupName,
+			Stream: streamName,
+			Seq:    st.nextSeq,
+		})
+		st.nextSeq++
+	}
+	return sequenceToken(groupName, streamName, st.nextSeq)
+}
+
+// sequenceToken renders the deterministic upload token for a stream
+// position — the same (group, stream, event count) always yields the
+// same token, so identically-seeded runs produce identical tokens.
+func sequenceToken(group, stream string, next int64) string {
+	return fmt.Sprintf("%s/%s@%08d", group, stream, next)
+}
+
+// SequenceToken reports a stream's current upload token without
+// writing ("" for an unknown stream).
+func (s *Service) SequenceToken(groupName, streamName string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[groupName]
+	if !ok {
+		return ""
+	}
+	st, ok := g.streams[streamName]
+	if !ok {
+		return ""
+	}
+	return sequenceToken(groupName, streamName, st.nextSeq)
+}
+
+// Groups lists every log group name, sorted.
+func (s *Service) Groups() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.groups))
+	for name := range s.groups {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Streams lists a group's stream names, sorted.
+func (s *Service) Streams(groupName string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[groupName]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(g.streams))
+	for name := range g.streams {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Inventory summarizes every group (streams, events, stored bytes),
+// sorted by group name.
+func (s *Service) Inventory() []GroupInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GroupInfo, 0, len(s.groups))
+	for _, g := range s.groups {
+		info := GroupInfo{Name: g.name, Streams: len(g.streams), Retention: g.retention}
+		for _, st := range g.streams {
+			info.Events += len(st.events)
+			for _, e := range st.events {
+				info.Bytes += eventBytes(e.Event)
+			}
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Events returns a group's events within [from, to] (zero times mean
+// unbounded), merged across streams in deterministic order: timestamp,
+// then stream name, then sequence number.
+func (s *Service) Events(groupName string, from, to time.Time) []StoredEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[groupName]
+	if !ok {
+		return nil
+	}
+	var out []StoredEvent
+	for _, st := range g.streams {
+		for _, e := range st.events {
+			if !from.IsZero() && e.Time.Before(from) {
+				continue
+			}
+			if !to.IsZero() && e.Time.After(to) {
+				continue
+			}
+			out = append(out, e)
+		}
+	}
+	sortEvents(out)
+	return out
+}
+
+// Tail returns a group's last n events in deterministic order (all of
+// them when n <= 0 or exceeds the count).
+func (s *Service) Tail(groupName string, n int) []StoredEvent {
+	all := s.Events(groupName, time.Time{}, time.Time{})
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// ApplyRetention expires every event older than its group's retention
+// window as of now, releasing the stored bytes. Groups with no policy
+// keep everything. Explicitly driven — call it when the virtual clock
+// has moved — so two identically-seeded runs expire identically.
+func (s *Service) ApplyRetention(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, g := range s.groups {
+		if g.retention <= 0 {
+			continue
+		}
+		cutoff := now.Add(-g.retention)
+		for _, st := range g.streams {
+			kept := st.events[:0]
+			for _, e := range st.events {
+				if e.Time.Before(cutoff) {
+					s.storedBytes -= eventBytes(e.Event)
+					continue
+				}
+				kept = append(kept, e)
+			}
+			st.events = kept
+		}
+	}
+}
+
+// IngestedBytes reports the total bytes ever ingested (message +
+// fields + per-event overhead) — the quantity CloudWatch Logs billed
+// $0.50/GB for in 2017.
+func (s *Service) IngestedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ingestedBytes
+}
+
+// StoredBytes reports the bytes currently at rest after retention —
+// the $0.03/GB-month storage quantity.
+func (s *Service) StoredBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.storedBytes
+}
+
+// Usage reports the log plane's inventory as meterable usage: GB
+// ingested and GB-months stored, the 2017 CloudWatch Logs billing
+// dimensions. Like the metrics inventory, it is not pushed into the
+// account meter automatically (the paper's Tables 1–3 predate the
+// observability layer); callers price it on demand via
+// PriceBook.ListPrice or a scratch meter, which keeps logging
+// bit-invisible to the ledger goldens.
+func (s *Service) Usage() []pricing.Usage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	const gb = 1 << 30
+	return []pricing.Usage{
+		{Kind: pricing.CWLogsIngestGB, Quantity: float64(s.ingestedBytes) / gb, Resource: "cloudwatch-logs"},
+		{Kind: pricing.CWLogsStorageGBMo, Quantity: float64(s.storedBytes) / gb, Resource: "cloudwatch-logs"},
+	}
+}
+
+// Dump renders every stored event as one line per event in a stable
+// order — the byte-identical artifact scripts/check.sh diffs across
+// two identically-seeded runs.
+func (s *Service) Dump() []string {
+	var out []string
+	for _, g := range s.Groups() {
+		for _, e := range s.Events(g, time.Time{}, time.Time{}) {
+			out = append(out, fmt.Sprintf("%s %s seq=%06d t=%d %s",
+				e.Group, e.Stream, e.Seq, e.Time.UnixNano(), e.Message))
+		}
+	}
+	return out
+}
+
+// ensureGroup returns the named group, creating it if absent. Caller
+// holds s.mu.
+func (s *Service) ensureGroup(name string) *group {
+	g, ok := s.groups[name]
+	if !ok {
+		g = &group{name: name, streams: make(map[string]*stream)}
+		s.groups[name] = g
+	}
+	return g
+}
+
+// eventBytes is the metered size of one event.
+func eventBytes(e Event) int64 {
+	n := int64(len(e.Message)) + EventOverheadBytes
+	for k, v := range e.Fields {
+		n += int64(len(k) + len(v))
+	}
+	return n
+}
+
+// sortEvents orders events deterministically: timestamp, stream,
+// sequence. Two concurrent flows can land events at the same virtual
+// instant; the (stream, seq) tiebreak keeps merged output stable.
+func sortEvents(evs []StoredEvent) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.Stream != b.Stream {
+			return a.Stream < b.Stream
+		}
+		return a.Seq < b.Seq
+	})
+}

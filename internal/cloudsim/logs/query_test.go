@@ -1,0 +1,168 @@
+package logs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cloudsim/clock"
+)
+
+// reportLines populates a group with Lambda-shaped REPORT lines.
+func reportLines(s *Service, n int) {
+	for i := 0; i < n; i++ {
+		run := 100.0 + float64(i) // ms
+		billed := 100 * (int(run)/100 + 1)
+		msg := fmt.Sprintf(
+			"REPORT RequestId: req-%03d\tDuration: %.2f ms\tBilled Duration: %d ms\tMemory Size: 448 MB\tMax Memory Used: %d MB",
+			i, run, billed, 40+i%12)
+		if i == 0 {
+			msg += "\tInit Duration: 350.00 ms"
+		}
+		s.PutEvents("lambda/fn", "2017/06/01/[$LATEST]container-000001",
+			Event{Time: clock.Epoch.Add(time.Duration(i) * time.Second), Message: "START RequestId: req"},
+			Event{Time: clock.Epoch.Add(time.Duration(i) * time.Second), Message: msg},
+		)
+	}
+}
+
+func TestQueryFilterParseStats(t *testing.T) {
+	s := New(clock.NewVirtual())
+	reportLines(s, 7)
+
+	res, err := s.Query("lambda/fn",
+		`filter @message like "REPORT" | parse @message "Billed Duration: * ms" as billed_ms | stats count(*) as n, pct(billed_ms, 50) as med, min(billed_ms) as lo, max(billed_ms) as hi`,
+		time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Value(0, "n"); got != "7" {
+		t.Fatalf("count = %q, want 7", got)
+	}
+	// Billed durations are all 200 ms for runs 100..106 ms.
+	if got := res.Value(0, "med"); got != "200" {
+		t.Fatalf("median billed = %q, want 200", got)
+	}
+	if res.Value(0, "lo") != "200" || res.Value(0, "hi") != "200" {
+		t.Fatalf("min/max = %q/%q", res.Value(0, "lo"), res.Value(0, "hi"))
+	}
+}
+
+func TestQueryParseBindsInOrder(t *testing.T) {
+	s := New(clock.NewVirtual())
+	s.PutEvents("g/p", "s", Event{Time: clock.Epoch, Message: "a=1 b=2"})
+	res, err := s.Query("g/p", `parse @message "a=* b=*" as a, b | fields a, b`, time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value(0, "a") != "1" || res.Value(0, "b") != "2" {
+		t.Fatalf("parse bound a=%q b=%q", res.Value(0, "a"), res.Value(0, "b"))
+	}
+}
+
+func TestQueryStatsByGroupsAndSorts(t *testing.T) {
+	s := New(clock.NewVirtual())
+	for i, op := range []string{"Get", "Put", "Get", "Get", "Put", "Del"} {
+		s.PutEvents("g/s", "s", Event{
+			Time:    clock.Epoch.Add(time.Duration(i) * time.Second),
+			Message: op,
+			Fields:  map[string]string{"op": op, "ms": fmt.Sprintf("%d", 10*(i+1))},
+		})
+	}
+	res, err := s.Query("g/s",
+		`stats count(*) as n, sum(ms) as total, avg(ms) as mean by op | sort n desc | limit 2`,
+		time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("limit 2 returned %d rows", len(res.Rows))
+	}
+	if res.Value(0, "op") != "Get" || res.Value(0, "n") != "3" {
+		t.Fatalf("top row = %v", res.Rows[0])
+	}
+	if res.Value(0, "total") != "80" || res.Value(0, "mean") == "" {
+		t.Fatalf("sum/avg = %q/%q", res.Value(0, "total"), res.Value(0, "mean"))
+	}
+}
+
+func TestQueryFilterOperators(t *testing.T) {
+	s := New(clock.NewVirtual())
+	for i := 1; i <= 5; i++ {
+		s.PutEvents("g/f", "s", Event{
+			Time:    clock.Epoch.Add(time.Duration(i) * time.Second),
+			Message: fmt.Sprintf("n=%d", i),
+			Fields:  map[string]string{"n": fmt.Sprintf("%d", i)},
+		})
+	}
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{`filter n >= 3 | stats count(*) as c`, 3},
+		{`filter n < 2 | stats count(*) as c`, 1},
+		{`filter n != 5 | stats count(*) as c`, 4},
+		{`filter n = 4 | stats count(*) as c`, 1},
+	}
+	for _, tc := range cases {
+		res, err := s.Query("g/f", tc.q, time.Time{}, time.Time{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.q, err)
+		}
+		if got := res.Value(0, "c"); got != fmt.Sprintf("%d", tc.want) {
+			t.Errorf("%s -> %q, want %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQueryWindowRestrictsScan(t *testing.T) {
+	s := New(clock.NewVirtual())
+	reportLines(s, 10)
+	from := clock.Epoch.Add(5 * time.Second)
+	res, err := s.Query("lambda/fn", `filter @message like "REPORT" | stats count(*) as n`, from, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Value(0, "n"); got != "5" {
+		t.Fatalf("windowed count = %q, want 5", got)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	s := New(clock.NewVirtual())
+	for _, q := range []string{
+		"",
+		"fields",
+		"frobnicate x",
+		"filter a ~ b",
+		`parse @message "no wildcards" as x`,
+		`parse @message "*" as a, b`,
+		"stats wibble(x)",
+		"stats pct(x)",
+		"limit -1",
+		"sort a sideways",
+		`filter @message like "unterminated`,
+	} {
+		if _, err := s.Query("g/none", q, time.Time{}, time.Time{}); err == nil {
+			t.Errorf("query %q: expected error", q)
+		}
+	}
+}
+
+func TestQueryRender(t *testing.T) {
+	s := New(clock.NewVirtual())
+	s.PutEvents("g/r", "s", Event{Time: clock.Epoch, Message: "hello", Fields: map[string]string{"k": "v"}})
+	res, err := s.Query("g/r", "fields @timestamp, k", time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "@timestamp") || !strings.Contains(out, "2017-06-01 00:00:00.000") {
+		t.Fatalf("render:\n%s", out)
+	}
+	var empty *QueryResult
+	if empty.Render() != "(no results)\n" {
+		t.Fatalf("nil render = %q", empty.Render())
+	}
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateExposition = flag.Bool("update-exposition-golden", false,
+	"rewrite testdata/exposition.golden from current output")
+
+// TestExpositionGolden pins the Prometheus text format byte for byte:
+// the exposition is the scrape surface an external system would parse,
+// so family naming, label quoting, value formatting, and sort order
+// are all contract. Samples are hand-placed on the virtual timeline —
+// any change to the rendering shows up as a golden diff.
+func TestExpositionGolden(t *testing.T) {
+	s := New()
+	// Two plane namespaces plus a lambda function namespace, with
+	// values chosen to exercise integer, fractional, and %g-notable
+	// (large and sub-1) renderings.
+	for i := 0; i < 3; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		s.Record("s3/s3:GetObject", MetricPlaneRequests, at, 1)
+		s.Record("s3/s3:GetObject", MetricPlaneLatencyMs, at, 12.5+float64(i))
+		s.Record("s3/s3:GetObject", MetricPlaneCostNanos, at, 400)
+	}
+	s.Record("kms/kms:Decrypt", MetricPlaneRequests, t0, 1)
+	s.Record("kms/kms:Decrypt", MetricPlaneDenials, t0, 1)
+	s.Record("kms/kms:Decrypt", MetricPlaneCostNanos, t0, 3000)
+	s.Record("lambda/proto-chat", MetricLambdaRunMs, t0, 133.54)
+	s.Record("lambda/proto-chat", MetricLambdaBilledMs, t0, 200)
+	s.Record("lambda/proto-chat", MetricLambdaPeakMB, t0, 51)
+	s.Record("lambda/proto-chat", MetricLambdaCold, t0, 0)
+	s.Record(AccountNamespace, MetricAccountCostNanos, t0, 1200)
+	s.Record(AccountNamespace, MetricAccountCostNanos, t0.Add(time.Minute), 4200)
+
+	var zero time.Time
+	got := s.Exposition(zero, zero)
+
+	// Windowing is part of the surface too: a scrape of a window with
+	// no samples is empty, not a page of zero-valued families.
+	if empty := s.Exposition(t0.Add(time.Hour), t0.Add(2*time.Hour)); empty != "" {
+		t.Errorf("empty-window exposition rendered %d bytes, want none", len(empty))
+	}
+
+	goldenPath := filepath.Join("testdata", "exposition.golden")
+	if *updateExposition {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/cloudsim/metrics -update-exposition-golden`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition diverges from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+	// Structural spot checks so a regenerated golden cannot silently
+	// drop the families the dashboard reads.
+	for _, line := range []string{
+		`# TYPE plane_requests summary`,
+		`plane_requests_count{ns="s3/s3:GetObject"} 3`,
+		`plane_latency_ms_sum{ns="s3/s3:GetObject"} 40.5`,
+		`plane_denials_count{ns="kms/kms:Decrypt"} 1`,
+		`lambda_run_ms_max{ns="lambda/proto-chat"} 133.54`,
+		`account_cost_nanodollars_max{ns="account"} 4200`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("exposition missing line %q", line)
+		}
+	}
+}

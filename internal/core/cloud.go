@@ -18,6 +18,7 @@ import (
 	"repro/internal/cloudsim/iam"
 	"repro/internal/cloudsim/kms"
 	"repro/internal/cloudsim/lambda"
+	"repro/internal/cloudsim/logs"
 	"repro/internal/cloudsim/metrics"
 	"repro/internal/cloudsim/netsim"
 	"repro/internal/cloudsim/plane"
@@ -49,6 +50,7 @@ type Cloud struct {
 	SES     *ses.Service
 	Gateway *gateway.Service
 	Metrics *metrics.Service
+	Logs    *logs.Service
 	Tracer  *trace.Recorder
 	Attest  *attest.Platform
 }
@@ -69,6 +71,13 @@ type CloudOptions struct {
 	// own RED+cost series; parity tests flip this to prove the
 	// interceptor never moves a ledger number.
 	DisableObservability bool
+	// DisableLogging skips installing the log-plane interceptor and the
+	// per-service log sinks (Lambda START/END/REPORT lines, the KMS
+	// audit group). Logging is on by default — the log plane is the
+	// operator-facing evidence trail — and, like metrics, is read-only
+	// with respect to the economy; TestLogsPreserveLedger flips this to
+	// prove a logged run is bit-identical to an unlogged one.
+	DisableLogging bool
 }
 
 // NewCloud builds a fully wired simulated provider.
@@ -106,18 +115,28 @@ func NewCloud(opts CloudOptions) (*Cloud, error) {
 	c.SES = ses.New(c.Lambda, c.Meter, c.Model)
 	c.Gateway = gateway.New(c.Lambda, c.Meter, c.Model, c.Clock)
 	c.Metrics = metrics.New()
+	c.Logs = logs.New(c.Clock)
 	c.Tracer = trace.NewRecorder(trace.DefaultCapacity)
 	c.Lambda.SetMetrics(c.Metrics)
 	c.Lambda.SetServices(lambda.Services{KMS: c.KMS, S3: c.S3, SQS: c.SQS, Dynamo: c.Dynamo, Email: c.SES})
 
+	planes := []*plane.Plane{
+		c.KMS.Plane(), c.S3.Plane(), c.Dynamo.Plane(), c.SQS.Plane(),
+		c.Lambda.Plane(), c.EC2.Plane(), c.SES.Plane(), c.Gateway.Plane(),
+	}
 	if !opts.DisableObservability {
 		obs := metrics.PlaneInterceptor(c.Metrics, c.Book, c.Clock)
-		for _, pl := range []*plane.Plane{
-			c.KMS.Plane(), c.S3.Plane(), c.Dynamo.Plane(), c.SQS.Plane(),
-			c.Lambda.Plane(), c.EC2.Plane(), c.SES.Plane(), c.Gateway.Plane(),
-		} {
+		for _, pl := range planes {
 			pl.Use(obs)
 		}
+	}
+	if !opts.DisableLogging {
+		lobs := logs.PlaneInterceptor(c.Logs, c.Book, c.Clock)
+		for _, pl := range planes {
+			pl.Use(lobs)
+		}
+		c.Lambda.SetLogs(c.Logs)
+		c.KMS.SetLogs(c.Logs)
 	}
 
 	att, err := attest.NewPlatform()

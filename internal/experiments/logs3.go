@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/apps/chat"
+	"repro/internal/cloudsim/logs"
+	"repro/internal/cloudsim/netsim"
+	"repro/internal/core"
+	"repro/internal/pricing"
+)
+
+// Logs3 re-derives Table 3 purely from CloudWatch Logs — no access to
+// InvocationStats, traces, or metrics series, only the REPORT lines
+// the lambda platform writes into the log plane as the workload runs,
+// read back through Insights-style queries. On real AWS these lines
+// are the primary operator-facing evidence of per-invoke billing, so
+// this closes the loop from the other direction than RunMetrics3: the
+// paper's numbers fall out of the raw log text alone.
+type Logs3 struct {
+	Samples int
+
+	// The Table 3 headline stats, parsed out of REPORT lines over the
+	// measurement window (sends only, like Table 3).
+	MedBilled    time.Duration
+	MedRunMs     float64 // p50 of the REPORT "Duration" field
+	PeakMemoryMB int64   // max of the REPORT "Max Memory Used" field
+	// ColdStarts counts REPORT lines carrying an "Init Duration"
+	// segment — the platform's cold-start marker.
+	ColdStarts int
+	// Invocations counts REPORT lines in the window — one per send.
+	Invocations int
+
+	// SampleReport is the window's last REPORT line verbatim, the
+	// artifact an operator would actually read.
+	SampleReport string
+
+	// Queries lists the Insights pipelines the stats above came from.
+	Queries []string
+
+	// The log plane's inventory after the run, and what ingesting and
+	// storing it costs at CloudWatch Logs' 2017 prices.
+	Groups        []logs.GroupInfo
+	IngestedBytes int64
+	StoredBytes   int64
+	LogsList      pricing.Money
+	LogsBilled    pricing.Money
+
+	// DumpLines is the full deterministic event dump; scripts/check.sh
+	// diffs it across two identically-seeded runs (not rendered).
+	DumpLines []string
+}
+
+// Insights pipelines over the function's log group; REPORT lines carry
+// every Table 3 quantity.
+const (
+	logs3QueryBilled = `filter @message like "REPORT RequestId" | parse @message "Billed Duration: * ms" as billed_ms | stats count(*) as n, pct(billed_ms, 50) as med_billed_ms`
+	logs3QueryRun    = `filter @message like "REPORT RequestId" | parse @message "Duration: * ms" as run_ms | stats pct(run_ms, 50) as med_run_ms`
+	logs3QueryPeak   = `filter @message like "REPORT RequestId" | parse @message "Max Memory Used: * MB" as peak_mb | stats max(peak_mb) as peak_mb`
+	logs3QueryCold   = `filter @message like "Init Duration" | stats count(*) as cold_starts`
+	logs3QuerySample = `filter @message like "REPORT RequestId" | sort @timestamp desc | limit 1 | fields @message`
+)
+
+// RunLogs3 drives the exact Table 3 workload, then reconstructs the
+// table from the log plane alone.
+func RunLogs3(cfg Table3Config) (*Logs3, error) {
+	if cfg.Sends <= 0 {
+		cfg.Sends = 200
+	}
+	if cfg.MemoryMB == 0 {
+		cfg.MemoryMB = 448
+	}
+	if cfg.GapBetweenSends <= 0 {
+		cfg.GapBetweenSends = 40 * time.Second
+	}
+
+	opts := core.CloudOptions{Name: "logs3"}
+	if cfg.Seed != 0 {
+		params := netsim.DefaultParams()
+		params.Seed = cfg.Seed
+		opts.NetParams = &params
+	}
+	cloud, err := core.NewCloud(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// The workload is RunTable3's, call for call, so the latency
+	// model's random stream — and therefore every logged line —
+	// matches the pinned Table 3 goldens.
+	d, err := chat.Install(cloud, "proto", chat.App{
+		Members:  []string{"alice", "bob"},
+		MemoryMB: cfg.MemoryMB,
+		Backend:  cfg.Backend,
+	})
+	if err != nil {
+		return nil, err
+	}
+	alice := chat.NewClient(d, "alice", "laptop")
+	bob := chat.NewClient(d, "bob", "phone")
+	if _, err := alice.Session(); err != nil {
+		return nil, err
+	}
+	if _, err := bob.Session(); err != nil {
+		return nil, err
+	}
+
+	var measureFrom time.Time
+	for i := 0; i < cfg.Sends; i++ {
+		cloud.Clock.Advance(cfg.GapBetweenSends)
+		if i == 0 {
+			// Measurement window opens after the session-initiation
+			// invocations, before the first send — Table 3 measures
+			// sends only.
+			measureFrom = cloud.Clock.Now()
+		}
+		sendStart := cloud.Clock.Now()
+		if _, _, err := alice.SendTimed(fmt.Sprintf("message %d from the prototype run", i)); err != nil {
+			return nil, fmt.Errorf("logs3 send %d: %w", i, err)
+		}
+		pollCtx := bob.PollContext(sendStart)
+		msgs, err := bob.Receive(pollCtx, 20*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("logs3 receive %d: %w", i, err)
+		}
+		if len(msgs) != 1 {
+			return nil, fmt.Errorf("logs3 receive %d: got %d messages", i, len(msgs))
+		}
+	}
+
+	// Everything below comes from the log service only.
+	var zero time.Time
+	q := func(query, column string) (string, error) {
+		res, err := cloud.Logs.Query(logs.LambdaGroup(d.FnName), query, measureFrom, zero)
+		if err != nil {
+			return "", fmt.Errorf("logs3 query %q: %w", query, err)
+		}
+		return res.Value(0, column), nil
+	}
+	num := func(query, column string) (float64, error) {
+		s, err := q(query, column)
+		if err != nil {
+			return 0, err
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("logs3 query %q: column %s = %q: %w", query, column, s, err)
+		}
+		return v, nil
+	}
+
+	out := &Logs3{
+		Samples: cfg.Sends,
+		Queries: []string{logs3QueryBilled, logs3QueryRun, logs3QueryPeak, logs3QueryCold},
+	}
+	billedMs, err := num(logs3QueryBilled, "med_billed_ms")
+	if err != nil {
+		return nil, err
+	}
+	out.MedBilled = time.Duration(billedMs * float64(time.Millisecond))
+	n, err := num(logs3QueryBilled, "n")
+	if err != nil {
+		return nil, err
+	}
+	out.Invocations = int(n)
+	if out.MedRunMs, err = num(logs3QueryRun, "med_run_ms"); err != nil {
+		return nil, err
+	}
+	peak, err := num(logs3QueryPeak, "peak_mb")
+	if err != nil {
+		return nil, err
+	}
+	out.PeakMemoryMB = int64(peak)
+	coldStr, err := q(logs3QueryCold, "cold_starts")
+	if err != nil {
+		return nil, err
+	}
+	if out.ColdStarts, err = strconv.Atoi(coldStr); err != nil {
+		return nil, fmt.Errorf("logs3 cold starts %q: %w", coldStr, err)
+	}
+	if out.SampleReport, err = q(logs3QuerySample, "@message"); err != nil {
+		return nil, err
+	}
+
+	// The log plane's own bill, through the standard engine.
+	out.Groups = cloud.Logs.Inventory()
+	out.IngestedBytes = cloud.Logs.IngestedBytes()
+	out.StoredBytes = cloud.Logs.StoredBytes()
+	logMeter := pricing.NewMeter()
+	for _, u := range cloud.Logs.Usage() {
+		out.LogsList += cloud.Book.ListPrice(u)
+		logMeter.Add(u)
+	}
+	out.LogsBilled = pricing.Compute(cloud.Book, logMeter).
+		TotalOf(pricing.CWLogsIngestGB, pricing.CWLogsStorageGBMo)
+
+	out.DumpLines = cloud.Logs.Dump()
+	return out, nil
+}
+
+// Render prints the re-derived table, the group inventory, and the log
+// plane's bill.
+func (l *Logs3) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 3 re-derived from Lambda REPORT log lines alone (CloudWatch Logs-sim)\n")
+	fmt.Fprintf(&sb, "  %-38s %10v\n", "Med. Lambda Time Billed", l.MedBilled.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "  %-38s %7.0f ms\n", "Med. Lambda Time Run", l.MedRunMs)
+	fmt.Fprintf(&sb, "  %-38s %7d MB\n", "Peak Memory Used", l.PeakMemoryMB)
+	fmt.Fprintf(&sb, "  %-38s %10d\n", "(samples)", l.Samples)
+	fmt.Fprintf(&sb, "  %-38s %10d\n", "(cold starts in window)", l.ColdStarts)
+	fmt.Fprintf(&sb, "  %-38s %10d\n", "(REPORT lines in window)", l.Invocations)
+
+	sb.WriteString("\nthe operator's evidence, verbatim (window's last REPORT line):\n")
+	fmt.Fprintf(&sb, "  %s\n", strings.ReplaceAll(l.SampleReport, "\t", "  "))
+
+	sb.WriteString("\nInsights queries used:\n")
+	for _, q := range l.Queries {
+		fmt.Fprintf(&sb, "  %s\n", q)
+	}
+
+	sb.WriteString("\nlog groups after the run:\n")
+	fmt.Fprintf(&sb, "  %-24s %8s %8s %10s\n", "GROUP", "STREAMS", "EVENTS", "BYTES")
+	for _, g := range l.Groups {
+		fmt.Fprintf(&sb, "  %-24s %8d %8d %10d\n", g.Name, g.Streams, g.Events, g.Bytes)
+	}
+
+	fmt.Fprintf(&sb, "\ncloudwatch logs: %d bytes ingested, %d stored -> %s/mo list, %s/mo after the 5 GB/5 GB free tier\n",
+		l.IngestedBytes, l.StoredBytes, dollars6(l.LogsList), dollars6(l.LogsBilled))
+	return sb.String()
+}

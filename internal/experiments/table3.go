@@ -49,6 +49,11 @@ type Table3Config struct {
 	// bit-identical results: observability must never perturb what it
 	// observes.
 	DisableObservability bool
+	// DisableLogging turns off the log plane (interceptor + service
+	// sinks). TestLogsPreserveLedger runs the prototype both ways and
+	// requires bit-identical results: the evidence trail must never
+	// perturb the evidence.
+	DisableLogging bool
 }
 
 // RunTable3 deploys the chat prototype on a fresh simulated cloud,
@@ -65,7 +70,11 @@ func RunTable3(cfg Table3Config) (*Table3, error) {
 		cfg.GapBetweenSends = 40 * time.Second
 	}
 
-	opts := core.CloudOptions{Name: "table3", DisableObservability: cfg.DisableObservability}
+	opts := core.CloudOptions{
+		Name:                 "table3",
+		DisableObservability: cfg.DisableObservability,
+		DisableLogging:       cfg.DisableLogging,
+	}
 	if cfg.Seed != 0 {
 		params := netsim.DefaultParams()
 		params.Seed = cfg.Seed

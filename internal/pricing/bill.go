@@ -196,6 +196,23 @@ func Compute(book *PriceBook, m *Meter) *Bill {
 		Cost: book.CWPerAlarmMonth.MulFloat(bcwa),
 	})
 
+	// CloudWatch Logs: ingested and stored bytes, metered as GB
+	// quantities (the log service reports them via Usage()).
+	cwli := m.Total(CWLogsIngestGB)
+	bcwli := billable(cwli, book.CWLogsFreeIngestGB)
+	add(Line{
+		Kind: CWLogsIngestGB, Detail: "cloudwatch logs ingest GB",
+		Quantity: cwli, Billable: bcwli,
+		Cost: book.CWLogsIngestPerGB.MulFloat(bcwli),
+	})
+	cwls := m.Total(CWLogsStorageGBMo)
+	bcwls := billable(cwls, book.CWLogsFreeStorageGB)
+	add(Line{
+		Kind: CWLogsStorageGBMo, Detail: "cloudwatch logs GB-months",
+		Quantity: cwls, Billable: bcwls,
+		Cost: book.CWLogsStoragePerGBMonth.MulFloat(bcwls),
+	})
+
 	// EC2, one line per instance type for readability.
 	byType := m.ByResource(EC2Seconds)
 	types := make([]string, 0, len(byType))

@@ -74,6 +74,15 @@ type PriceBook struct {
 	CWPerAlarmMonth  Money
 	CWFreeMetrics    float64
 	CWFreeAlarms     float64
+
+	// CloudWatch Logs: $0.50 per GB ingested and $0.03 per GB-month
+	// stored (2017 list), with 5 GB of each free every month. The log
+	// plane's evidence trail (plane events, Lambda REPORT lines, the
+	// KMS audit group) bills here.
+	CWLogsIngestPerGB       Money
+	CWLogsStoragePerGBMonth Money
+	CWLogsFreeIngestGB      float64
+	CWLogsFreeStorageGB     float64
 }
 
 // Default2017 returns the mid-2017 AWS us-west-2 list prices.
@@ -118,6 +127,11 @@ func Default2017() *PriceBook {
 		CWPerAlarmMonth:  FromDollars(0.10),
 		CWFreeMetrics:    10,
 		CWFreeAlarms:     10,
+
+		CWLogsIngestPerGB:       FromDollars(0.50),
+		CWLogsStoragePerGBMonth: FromDollars(0.03),
+		CWLogsFreeIngestGB:      5,
+		CWLogsFreeStorageGB:     5,
 	}
 }
 
@@ -136,6 +150,8 @@ func (b *PriceBook) WithoutFreeTiers() *PriceBook {
 	cp.DynamoFreeRCU = 0
 	cp.CWFreeMetrics = 0
 	cp.CWFreeAlarms = 0
+	cp.CWLogsFreeIngestGB = 0
+	cp.CWLogsFreeStorageGB = 0
 	return &cp
 }
 
@@ -181,6 +197,10 @@ func (b *PriceBook) ListPrice(u Usage) Money {
 		return b.CWPerMetricMonth.MulFloat(u.Quantity)
 	case CWAlarmMonths:
 		return b.CWPerAlarmMonth.MulFloat(u.Quantity)
+	case CWLogsIngestGB:
+		return b.CWLogsIngestPerGB.MulFloat(u.Quantity)
+	case CWLogsStorageGBMo:
+		return b.CWLogsStoragePerGBMonth.MulFloat(u.Quantity)
 	}
 	return 0
 }

@@ -25,6 +25,9 @@ const (
 	DynamoRCU       Kind = "dynamo-rcu"        // consumed read capacity units
 	CWMetricMonths  Kind = "cw-metric-months"  // custom-metric months (CloudWatch)
 	CWAlarmMonths   Kind = "cw-alarm-months"   // alarm-months (CloudWatch)
+
+	CWLogsIngestGB    Kind = "cw-logs-ingest-gb"     // GB ingested (CloudWatch Logs)
+	CWLogsStorageGBMo Kind = "cw-logs-storage-gb-mo" // GB-months stored (CloudWatch Logs)
 )
 
 // Usage is one metered quantity.

@@ -1,7 +1,8 @@
 #!/bin/sh
 # bench.sh — snapshot the cloudsim hot-path benchmarks into
-# BENCH_cloudsim.json so interceptor-chain and window-lookup
-# regressions show up as a diff. `make bench` runs this.
+# BENCH_cloudsim.json so interceptor-chain, window-lookup, log
+# ingestion, and Insights-scan regressions show up as a diff.
+# `make bench` runs this.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -9,8 +10,8 @@ OUT=BENCH_cloudsim.json
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkDoInterceptors|BenchmarkWindowNarrow' -benchmem \
-	./internal/cloudsim/plane ./internal/cloudsim/metrics | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkDoInterceptors|BenchmarkWindowNarrow|BenchmarkLogsIngest|BenchmarkInsightsScan' -benchmem \
+	./internal/cloudsim/plane ./internal/cloudsim/metrics ./internal/cloudsim/logs | tee "$RAW"
 
 awk '
 BEGIN { print "[" }

@@ -7,11 +7,11 @@ cd "$(dirname "$0")/.."
 echo ">> go vet ./..."
 go vet ./...
 
-echo ">> diylint ./... (domain invariants: wallclock, globalrand, moneyfloat, spanhygiene, planeroute, metricname, droppederr)"
+echo ">> diylint ./... (domain invariants: wallclock, globalrand, moneyfloat, spanhygiene, planeroute, metricname, loggroup, droppederr)"
 go run ./cmd/diylint ./...
 
-echo ">> ledger parity (Tables 1-3 + metrics3 bit-identical to committed goldens; observability on == off)"
-go test ./internal/experiments -run 'TestLedgerParity|TestObservabilityPreservesLedger'
+echo ">> ledger parity (Tables 1-3 + metrics3 + logs3 bit-identical to committed goldens; observability/logging on == off)"
+go test ./internal/experiments -run 'TestLedgerParity|TestObservabilityPreservesLedger|TestLogsPreserveLedger'
 
 echo ">> alarm determinism (two identically-seeded runs, transition logs diffed)"
 LOG1=$(mktemp) LOG2=$(mktemp)
@@ -22,6 +22,17 @@ go test ./internal/cloudsim/metrics -run TestAlarmTransitionsDeterministic -coun
 	| grep 'transition:' >"$LOG2"
 if ! [ -s "$LOG1" ]; then
 	echo "check: alarm determinism test produced no transitions" >&2
+	exit 1
+fi
+diff "$LOG1" "$LOG2"
+
+echo ">> log-stream determinism (two identically-seeded runs, full event dumps diffed)"
+go test ./internal/experiments -run TestLogStreamsDeterministic -count=1 -v 2>&1 \
+	| grep 'logline:' >"$LOG1"
+go test ./internal/experiments -run TestLogStreamsDeterministic -count=1 -v 2>&1 \
+	| grep 'logline:' >"$LOG2"
+if ! [ -s "$LOG1" ]; then
+	echo "check: log-stream determinism test produced no log lines" >&2
 	exit 1
 fi
 diff "$LOG1" "$LOG2"
