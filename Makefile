@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet lint race bench
+.PHONY: build test check vet lint race bench bench-gate
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ vet:
 
 # lint runs diylint, the repo's domain-invariant analyzer suite
 # (wallclock, globalrand, moneyfloat, spanhygiene, planeroute,
-# metricname, loggroup, droppederr). Deliberate findings live in
+# metricname, loggroup, hotpath, droppederr). Deliberate findings live in
 # .diylint-allow with a justification.
 lint:
 	$(GO) run ./cmd/diylint ./...
@@ -31,3 +31,10 @@ check:
 # scans) into BENCH_cloudsim.json.
 bench:
 	sh scripts/bench.sh
+
+# bench-gate fails if the fresh snapshot regressed more than 15% over
+# the committed budgets on ns/op, bytes/op, or allocs/op. Intentional
+# changes adopt new budgets via
+# `sh scripts/bench_gate.sh -update-budgets` + commit.
+bench-gate:
+	sh scripts/bench_gate.sh

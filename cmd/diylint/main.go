@@ -3,7 +3,8 @@
 // nanodollar money discipline (moneyfloat), trace-span coverage
 // (spanhygiene), plane routing (planeroute), metric-name registry
 // discipline (metricname), log-group registry discipline (loggroup),
-// and discarded errors (droppederr).
+// telemetry hot-path allocation discipline (hotpath), and discarded
+// errors (droppederr).
 //
 // Usage:
 //

@@ -22,6 +22,9 @@
 //     internal/cloudsim/logs, lowercase slash-separated and passed by
 //     constant or deriver call, so a typo cannot fork the evidence
 //     trail into an unwatched group;
+//   - hotpath: PlaneInterceptor bodies and the same-package functions
+//     they reach must not fmt.Sprint* or build map literals per call,
+//     so the telemetry fast path's benchmark budget cannot regress;
 //   - droppederr: internal/cloudsim never discards an error with `_ =`.
 //
 // The driver is stdlib-only (go/ast, go/parser, go/types): the repo is
@@ -94,6 +97,7 @@ func Analyzers() []*Analyzer {
 		PlaneRoute,
 		MetricName,
 		LogGroup,
+		HotPath,
 		DroppedErr,
 	}
 }

@@ -37,6 +37,8 @@ var fixtureDirs = []string{
 	"internal/cloudsim/metricgood",
 	"internal/cloudsim/loggroupbad",
 	"internal/cloudsim/loggroupgood",
+	"internal/cloudsim/hotpathbad",
+	"internal/cloudsim/hotpathgood",
 	"internal/cloudsim/errbad",
 	"internal/cloudsim/errgood",
 	"moneybad",
@@ -88,6 +90,7 @@ var goldenCases = []struct {
 	{PlaneRoute, "internal/cloudsim/planebad", "internal/cloudsim/planegood"},
 	{MetricName, "internal/cloudsim/metricbad", "internal/cloudsim/metricgood"},
 	{LogGroup, "internal/cloudsim/loggroupbad", "internal/cloudsim/loggroupgood"},
+	{HotPath, "internal/cloudsim/hotpathbad", "internal/cloudsim/hotpathgood"},
 	{DroppedErr, "internal/cloudsim/errbad", "internal/cloudsim/errgood"},
 }
 

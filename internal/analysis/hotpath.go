@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath guards the telemetry interceptors' per-call cost: the
+// benchmark budget (BENCH_cloudsim.json) only holds if publication
+// stays on the interned/batched fast path, so the body of any
+// PlaneInterceptor — and every same-package function it can reach —
+// must not format strings with fmt.Sprint* or allocate a map composite
+// literal per call. Names and handles are interned once at
+// construction or first sight; `make(map...)` for those interning
+// tables is fine, it is the per-call formatting and literal maps that
+// regress the hot path.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "PlaneInterceptor bodies and their same-package callees must not call fmt.Sprint* or build map literals; intern names and handles instead",
+	Run:  runHotPath,
+}
+
+// sprintFuncs are the fmt formatters that allocate a string per call.
+var sprintFuncs = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+}
+
+func runHotPath(p *Pass) {
+	if !pathWithin(p.Pkg.Path, "internal/cloudsim") {
+		return
+	}
+
+	type violation struct {
+		pos  ast.Node
+		what string
+	}
+	type fnInfo struct {
+		callees    []*types.Func
+		violations []violation
+	}
+	infos := make(map[*types.Func]*fnInfo)
+	var roots []*types.Func
+	for _, file := range p.Pkg.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			obj, ok := p.Pkg.Info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if decl.Name.Name == "PlaneInterceptor" {
+				roots = append(roots, obj)
+			}
+			fi := &fnInfo{}
+			// Function literals nested in the body (the interceptor
+			// closure itself) are part of the declaring function here.
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					callee := calleeFunc(p.Pkg.Info, n)
+					if callee == nil || callee.Pkg() == nil {
+						return true
+					}
+					switch {
+					case callee.Pkg().Path() == "fmt" && sprintFuncs[callee.Name()]:
+						fi.violations = append(fi.violations,
+							violation{pos: n, what: "fmt." + callee.Name() + " formats a string"})
+					case callee.Pkg() == p.Pkg.Types:
+						fi.callees = append(fi.callees, callee)
+					}
+				case *ast.CompositeLit:
+					tv, ok := p.Pkg.Info.Types[ast.Expr(n)]
+					if ok && tv.Type != nil {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							fi.violations = append(fi.violations,
+								violation{pos: n, what: "map composite literal allocates"})
+						}
+					}
+				}
+				return true
+			})
+			infos[obj] = fi
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	// Forward reachability from each PlaneInterceptor through
+	// same-package calls: anything the interceptor can reach runs (or
+	// can run) per published call.
+	hot := make(map[*types.Func]bool)
+	work := append([]*types.Func(nil), roots...)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if hot[fn] {
+			continue
+		}
+		hot[fn] = true
+		if fi, ok := infos[fn]; ok {
+			work = append(work, fi.callees...)
+		}
+	}
+
+	for fn, fi := range infos {
+		if !hot[fn] {
+			continue
+		}
+		for _, v := range fi.violations {
+			p.Reportf(v.pos.Pos(),
+				"%s on the telemetry hot path (reachable from PlaneInterceptor via %s); intern names/handles at construction or append into a reused buffer instead",
+				v.what, fn.Name())
+		}
+	}
+}

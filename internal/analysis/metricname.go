@@ -32,6 +32,7 @@ const metricsPkgDir = "internal/cloudsim/metrics"
 // argument is a metric name.
 var metricArgMethods = map[string]bool{
 	"Record":     true,
+	"Handle":     true,
 	"Count":      true,
 	"Sum":        true,
 	"Max":        true,

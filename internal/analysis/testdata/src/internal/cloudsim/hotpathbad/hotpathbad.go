@@ -1,0 +1,42 @@
+// Package hotpathbad publishes telemetry from a plane interceptor the
+// slow way: formatting the series name with fmt.Sprintf on every call
+// and binding fields through a per-call map literal, both directly in
+// the interceptor body and through a same-package helper. hotpath must
+// flag every formatting site and literal map it can reach.
+package hotpathbad
+
+import (
+	"fmt"
+
+	"repro/internal/cloudsim/plane"
+)
+
+// sink swallows what the fake publishers produce.
+var sink []string
+
+// PlaneInterceptor publishes a formatted sample per call — the exact
+// pattern interning exists to remove.
+func PlaneInterceptor() plane.Interceptor {
+	return func(next plane.HandlerFunc) plane.HandlerFunc {
+		return func(req *plane.Request) error {
+			err := next(req)
+			ns := fmt.Sprintf("%s/%s", req.Call.Service, req.Call.Op) // flagged: per-call format
+			fields := map[string]string{"ns": ns}                     // flagged: per-call map literal
+			sink = append(sink, fields["ns"])
+			publish(req)
+			return err
+		}
+	}
+}
+
+// publish is a same-package callee of the interceptor: its formatting
+// runs per call just the same, so the fixpoint must reach it.
+func publish(req *plane.Request) {
+	sink = append(sink, fmt.Sprint(req.Call.Service, ":", req.Call.Op)) // flagged: reached from interceptor
+}
+
+// Render formats outside the interceptor's reach; hotpath must stay
+// silent here even in a package that defines a PlaneInterceptor.
+func Render(service, op string) string {
+	return fmt.Sprintf("%s/%s", service, op)
+}

@@ -1,0 +1,131 @@
+package logs
+
+import (
+	"sync"
+	"time"
+)
+
+// pendingEvent is one staged event awaiting flush: interned group and
+// stream names, the encoded message, and a field run in the batch's
+// arena. No maps, no per-event allocations.
+type pendingEvent struct {
+	group, stream    string
+	at               time.Time
+	msg              string
+	fieldLo, fieldHi int32
+}
+
+// logBatchCap is the pending-event count at which a Batch
+// self-flushes. Buffers are retained and swapped, never regrown, so
+// steady-state staging is two slice appends.
+const logBatchCap = 1024
+
+// Batch is a publisher-side staging buffer for log events — the logs
+// twin of metrics.Batch. The plane interceptor appends here on the hot
+// path; pending events drain into the store in arrival order when the
+// simulation clock ticks (core wires clock.OnTick to FlushBatches),
+// when the buffer fills, or — forced — before any read, so sequence
+// numbers, byte inventories, and query results are exactly what
+// unbatched ingestion would produce.
+type Batch struct {
+	svc         *Service
+	mu          sync.Mutex
+	buf         []pendingEvent
+	fields      []field
+	spareBuf    []pendingEvent
+	spareFields []field
+}
+
+// NewBatch returns a staging buffer draining into s. The service
+// tracks every batch it hands out and drains them all on FlushBatches
+// (and before every read).
+func (s *Service) NewBatch() *Batch {
+	b := &Batch{
+		svc:      s,
+		buf:      make([]pendingEvent, 0, logBatchCap),
+		spareBuf: make([]pendingEvent, 0, logBatchCap),
+	}
+	s.mu.Lock()
+	s.batches = append(s.batches, b)
+	s.mu.Unlock()
+	return b
+}
+
+// Log stages one event. A zero at is stamped with the service clock
+// now — at staging time, not flush time — matching unbatched
+// PutEvents stamping. The fields slice is copied into the batch's
+// arena, so callers may reuse it immediately.
+func (b *Batch) Log(group, stream string, at time.Time, msg string, fs []field) {
+	if at.IsZero() {
+		at = b.svc.clk.Now()
+	}
+	b.mu.Lock()
+	lo := int32(len(b.fields))
+	b.fields = append(b.fields, fs...)
+	b.buf = append(b.buf, pendingEvent{
+		group: group, stream: stream, at: at, msg: msg,
+		fieldLo: lo, fieldHi: int32(len(b.fields)),
+	})
+	full := len(b.buf) >= logBatchCap
+	b.mu.Unlock()
+	// Self-flush outside b.mu: the flush path locks svc.mu then b.mu,
+	// so Log must never hold b.mu while entering it.
+	if full {
+		b.svc.FlushBatches()
+	}
+}
+
+// FlushBatches drains every pending batch into the store. Core wiring
+// calls it from the virtual clock's OnTick hook; every read API also
+// forces it, so batching is invisible to queries, dumps, inventories,
+// and retention.
+func (s *Service) FlushBatches() {
+	s.mu.Lock()
+	s.flushLocked()
+	s.mu.Unlock()
+}
+
+// flushLocked drains all batches in registration order, assigning
+// sequence numbers in staging order. Caller holds s.mu.
+func (s *Service) flushLocked() {
+	for _, b := range s.batches {
+		b.mu.Lock()
+		pending, fields := b.buf, b.fields
+		b.buf, b.fields = b.spareBuf[:0], b.spareFields[:0]
+		b.spareBuf, b.spareFields = pending, fields
+		b.mu.Unlock()
+		if len(pending) == 0 {
+			continue
+		}
+		for _, e := range pending {
+			g := s.ensureGroup(e.group)
+			st := s.ensureStream(g, e.stream)
+			s.appendLocked(g, st, e.at, e.msg, fields[e.fieldLo:e.fieldHi])
+		}
+		s.flushes++
+	}
+}
+
+// SelfStats is the log plane's observation of itself.
+type SelfStats struct {
+	// Events counts events ingested into the store (batched and
+	// direct).
+	Events int64
+	// Bytes is the cumulative ingested byte count (same quantity as
+	// IngestedBytes).
+	Bytes int64
+	// Flushes counts non-empty batch drains.
+	Flushes int64
+}
+
+// SelfStats reports the service's self-telemetry counters. It does not
+// force a flush — reading the telemetry plane must not perturb it.
+func (s *Service) SelfStats() SelfStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SelfStats{
+		Events:  s.ingestedEvents,
+		Bytes:   s.ingestedBytes,
+		Flushes: s.flushes,
+	}
+}

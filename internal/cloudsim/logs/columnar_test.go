@@ -1,0 +1,245 @@
+package logs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cloudsim/clock"
+)
+
+// mixedGroup populates a group with the shapes the query engine meets
+// in practice: structured plane events with fields, bare text lines,
+// REPORT-style lines with numeric payloads, and multiple streams so
+// the merged order matters.
+func mixedGroup(s *Service) {
+	at := func(i int) time.Time { return clock.Epoch.Add(time.Duration(i) * time.Second) }
+	for i := 0; i < 25; i++ {
+		s.PutEvents("g/mixed", "alpha", Event{
+			Time:    at(i),
+			Message: fmt.Sprintf("s3:GetObject outcome=ok latency_ms=%d.250 cost_nanodollars=%d", i, 400+i),
+			Fields:  map[string]string{"service": "s3", "outcome": "ok", "op": "s3:GetObject"},
+		})
+	}
+	for i := 0; i < 10; i++ {
+		s.PutEvents("g/mixed", "beta", Event{
+			Time:    at(2 * i),
+			Message: fmt.Sprintf("REPORT Duration: %d.00 ms Billed Duration: %d ms", 90+i, 100*(1+(90+i)/100)),
+		})
+	}
+	s.PutEvents("g/mixed", "beta",
+		Event{Time: at(5), Message: "plain line with no equals signs"},
+		Event{Time: at(6), Message: "outcome=denied snooping attempt", Fields: map[string]string{"outcome": "denied"}},
+	)
+}
+
+// TestColumnarMatchesRows is the differential gate for the columnar
+// executor: every query runs through both the columnar path (Query)
+// and the retained row-at-a-time reference (queryRows), and the
+// rendered tables must match byte for byte — columns, order, and cell
+// formatting.
+func TestColumnarMatchesRows(t *testing.T) {
+	s := New(clock.NewVirtual())
+	mixedGroup(s)
+
+	queries := []string{
+		`fields @timestamp, @message`,
+		`filter @message like "REPORT"`,
+		`filter outcome = "ok" | fields @logStream, @message`,
+		`filter @logStream = "beta" | sort @timestamp desc | limit 5`,
+		`parse @message "latency_ms=* cost_nanodollars=*" as lat, cost | fields lat, cost`,
+		`parse @message "Billed Duration: * ms" as billed | filter billed != "" | stats count(*) as n, min(billed) as lo, max(billed) as hi, pct(billed, 50) as med`,
+		`filter @message like "outcome=" | stats count(*) as n by outcome | sort n desc`,
+		`stats count(*) as n, avg(cost_nanodollars) as c by service`,
+		`parse @message "outcome=* " as oc | sort oc asc | limit 9`,
+		`filter cost_nanodollars > 410 | stats sum(cost_nanodollars) as total`,
+		`fields @logGroup, @logStream, outcome | sort @logStream asc | limit 30`,
+		`filter @message like "nosuchthing"`,
+		`filter @message like "nosuchthing" | stats count(*) as n`,
+	}
+	var zero time.Time
+	for _, q := range queries {
+		col, err := s.Query("g/mixed", q, zero, zero)
+		if err != nil {
+			t.Fatalf("columnar %q: %v", q, err)
+		}
+		ref, err := s.queryRows("g/mixed", q, zero, zero)
+		if err != nil {
+			t.Fatalf("rows %q: %v", q, err)
+		}
+		if got, want := col.Render(), ref.Render(); got != want {
+			t.Errorf("query %q diverges\n--- columnar ---\n%s--- rows ---\n%s", q, got, want)
+		}
+	}
+
+	// Windowed queries must agree too (the window trims the scan before
+	// the pipeline sees it).
+	from, to := clock.Epoch.Add(4*time.Second), clock.Epoch.Add(12*time.Second)
+	for _, q := range queries[:6] {
+		col, err := s.Query("g/mixed", q, from, to)
+		if err != nil {
+			t.Fatalf("columnar windowed %q: %v", q, err)
+		}
+		ref, err := s.queryRows("g/mixed", q, from, to)
+		if err != nil {
+			t.Fatalf("rows windowed %q: %v", q, err)
+		}
+		if got, want := col.Render(), ref.Render(); got != want {
+			t.Errorf("windowed query %q diverges\n--- columnar ---\n%s--- rows ---\n%s", q, got, want)
+		}
+	}
+}
+
+// TestParseEdgeCases pins the glob scanner's corner semantics on both
+// executors: empty globs are rejected at parse time, adjacent
+// wildcards yield an empty first capture, unmatched rows leave their
+// fields unset, and multi-capture globs bind names left to right.
+func TestParseEdgeCases(t *testing.T) {
+	s := New(clock.NewVirtual())
+	s.PutEvents("g/edge", "s",
+		Event{Time: clock.Epoch, Message: "a=1 b=2 c=3"},
+		Event{Time: clock.Epoch.Add(time.Second), Message: "unrelated line"},
+		Event{Time: clock.Epoch.Add(2 * time.Second), Message: "a=9 b=8 c=7"},
+	)
+	var zero time.Time
+
+	// A glob with no wildcard cannot bind any name: parse-time error.
+	if _, err := s.Query("g/edge", `parse @message "a=1" as x`, zero, zero); err == nil {
+		t.Error("wildcard-less glob: want error, got none")
+	}
+	// Wildcard/name count mismatch: parse-time error.
+	if _, err := s.Query("g/edge", `parse @message "a=* b=*" as x`, zero, zero); err == nil {
+		t.Error("2 wildcards for 1 name: want error, got none")
+	}
+
+	// Adjacent wildcards: the first capture is the shortest possible
+	// match — empty — the second runs lazily to the next literal, and
+	// the trailing wildcard is greedy to the end of the line.
+	res, err := s.Query("g/edge", `parse @message "a=** b=*" as x, y, z | fields x, y, z | limit 1`, zero, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value(0, "x") != "" || res.Value(0, "y") != "1" || res.Value(0, "z") != "2 c=3" {
+		t.Errorf("adjacent wildcards bound x=%q y=%q z=%q, want \"\", \"1\", \"2 c=3\"",
+			res.Value(0, "x"), res.Value(0, "y"), res.Value(0, "z"))
+	}
+
+	// Unmatched rows keep their fields unset: the middle event has no
+	// "a=" so its x renders empty while matched neighbors bind.
+	res, err = s.Query("g/edge", `parse @message "a=* b=*" as x, y | fields @message, x, y`, zero, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("parse dropped rows: got %d, want 3 (unmatched rows pass through)", len(res.Rows))
+	}
+	if res.Value(0, "x") != "1" || res.Value(1, "x") != "" || res.Value(2, "x") != "9" {
+		t.Errorf("x column = %q,%q,%q, want 1,\"\",9", res.Value(0, "x"), res.Value(1, "x"), res.Value(2, "x"))
+	}
+
+	// Multi-capture ordering: names bind to wildcards strictly left to
+	// right even when the captures look alike.
+	res, err = s.Query("g/edge", `parse @message "a=* b=* c=*" as first, second, third | fields first, second, third | limit 1`, zero, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value(0, "first") != "1" || res.Value(0, "second") != "2" || res.Value(0, "third") != "3" {
+		t.Errorf("multi-capture bound %q,%q,%q, want 1,2,3",
+			res.Value(0, "first"), res.Value(0, "second"), res.Value(0, "third"))
+	}
+
+	// A trailing wildcard is greedy: it takes everything to the end of
+	// the line, embedded delimiters included.
+	res, err = s.Query("g/edge", `parse @message "a=*" as rest | fields rest | limit 1`, zero, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Value(0, "rest"); got != "1 b=2 c=3" {
+		t.Errorf("trailing wildcard captured %q, want %q", got, "1 b=2 c=3")
+	}
+
+	// Each edge case must agree with the row reference as well.
+	for _, q := range []string{
+		`parse @message "a=** b=*" as x, y, z | fields x, y, z`,
+		`parse @message "a=* b=*" as x, y | fields @message, x, y`,
+		`parse @message "a=*" as rest | fields rest`,
+	} {
+		col, err := s.Query("g/edge", q, zero, zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := s.queryRows("g/edge", q, zero, zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if col.Render() != ref.Render() {
+			t.Errorf("edge query %q: columnar and row paths disagree\n--- columnar ---\n%s--- rows ---\n%s",
+				q, col.Render(), ref.Render())
+		}
+	}
+}
+
+// TestLitGlobMatchesRegex fuzzes the literal-scanner glob matcher
+// against the compiled-regex reference across messages built from a
+// small alphabet, so every capture-boundary case the scanner special-
+// cases (lead literal offset, lazy middles, greedy tail, adjacent
+// stars) is cross-checked.
+func TestLitGlobMatchesRegex(t *testing.T) {
+	globs := []string{
+		"a=*",
+		"a=* b=*",
+		"*=b",
+		"**",
+		"a=**",
+		"x* y*z",
+		"* ms",
+		"Billed Duration: * ms",
+	}
+	msgs := []string{
+		"",
+		"a=1",
+		"a=1 b=2",
+		"a= b=",
+		"b=2 a=1",
+		"x1 y2z",
+		"x y z",
+		"Billed Duration: 200 ms",
+		"REPORT Billed Duration: 200 ms extra",
+		"aa=11 bb=22",
+		"a=1 b=2 a=3 b=4",
+	}
+	for _, glob := range globs {
+		st, err := parseParse(fmt.Sprintf("@message %q as %s", glob, names(strings.Count(glob, "*"))))
+		if err != nil {
+			t.Fatalf("glob %q: %v", glob, err)
+		}
+		ps := st.(*parseStage)
+		caps := make([]string, strings.Count(glob, "*"))
+		for _, msg := range msgs {
+			m := ps.re.FindStringSubmatch(msg)
+			caps, ok := ps.lg.match(msg, caps[:0])
+			if (m != nil) != ok {
+				t.Errorf("glob %q on %q: scanner matched=%v, regex matched=%v", glob, msg, ok, m != nil)
+				continue
+			}
+			if m == nil {
+				continue
+			}
+			for i := range caps {
+				if caps[i] != m[i+1] {
+					t.Errorf("glob %q on %q: capture %d = %q (scanner) vs %q (regex)", glob, msg, i, caps[i], m[i+1])
+				}
+			}
+		}
+	}
+}
+
+// names returns "v0, v1, ..." for n parse bindings.
+func names(n int) string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("v%d", i)
+	}
+	return strings.Join(out, ", ")
+}

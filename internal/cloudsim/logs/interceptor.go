@@ -2,8 +2,8 @@ package logs
 
 import (
 	"errors"
-	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/cloudsim/clock"
@@ -25,55 +25,143 @@ import (
 // meters, samples randomness, or advances a cursor — so installing it
 // cannot move a ledger-parity golden by a nanodollar
 // (TestLogsPreserveLedger proves bit-identity with logging off).
+//
+// The hot path is allocation-lean: a pooled encoder renders the
+// message with append-style formatting (the numeric field values are
+// substrings of the message, not separate allocations), fields go into
+// typed slots instead of a map, group names intern once per service,
+// and the finished event is staged in a Batch drained at clock ticks.
+// The `hotpath` diylint analyzer keeps fmt formatting and map literals
+// out of this path.
 func PlaneInterceptor(s *Service, book *pricing.PriceBook, clk clock.Clock) plane.Interceptor {
+	pub := &logPublisher{
+		batch:  s.NewBatch(),
+		book:   book,
+		clk:    clk,
+		groups: make(map[string]string),
+	}
 	return func(next plane.HandlerFunc) plane.HandlerFunc {
 		return func(req *plane.Request) error {
 			err := next(req)
-
-			at := req.Ctx.Now()
-			if at.IsZero() && clk != nil {
-				at = clk.Now()
-			}
-			outcome := "ok"
-			switch {
-			case errors.Is(err, iam.ErrDenied):
-				outcome = "denied"
-			case err != nil:
-				outcome = "error"
-			}
-			var cost pricing.Money
-			for _, u := range req.Metered() {
-				cost += book.ListPrice(u)
-			}
-			fields := map[string]string{
-				"service":          req.Call.Service,
-				"op":               req.Call.Op,
-				"outcome":          outcome,
-				"cost_nanodollars": strconv.FormatInt(cost.Nanodollars(), 10),
-			}
-			if req.Ctx != nil {
-				if req.Ctx.Principal != "" {
-					fields["principal"] = req.Ctx.Principal
-				}
-				if req.Ctx.App != "" {
-					fields["app"] = req.Ctx.App
-				}
-			}
-			latency := "-"
-			if start := req.Start(); !start.IsZero() && !at.Before(start) {
-				ms := float64(at.Sub(start)) / float64(time.Millisecond)
-				latency = strconv.FormatFloat(ms, 'f', 3, 64)
-				fields["latency_ms"] = latency
-			}
-			if err != nil {
-				fields["error"] = err.Error()
-			}
-			msg := fmt.Sprintf("%s:%s outcome=%s latency_ms=%s cost_nanodollars=%d principal=%s",
-				req.Call.Service, req.Call.Op, outcome, latency,
-				cost.Nanodollars(), fields["principal"])
-			s.PutEvents(PlaneGroup(req.Call.Service), req.Call.Op,
-				Event{Time: at, Message: msg, Fields: fields})
+			pub.publish(req, err)
 			return err
 		}
 	}
+}
+
+// encoder is a reusable message/field-slot builder. Pooled so
+// concurrent flows each grab their own scratch buffers instead of
+// allocating per event.
+type encoder struct {
+	buf    []byte
+	fields []field
+}
+
+var encPool = sync.Pool{New: func() any { return new(encoder) }}
+
+// logPublisher is the per-interceptor publication state.
+type logPublisher struct {
+	batch *Batch
+	book  *pricing.PriceBook
+	clk   clock.Clock
+
+	mu     sync.Mutex
+	groups map[string]string // service -> interned "plane/<service>"
+}
+
+// group interns the plane log-group name for a service, building the
+// string once per service rather than once per call.
+func (p *logPublisher) group(service string) string {
+	p.mu.Lock()
+	g, ok := p.groups[service]
+	if !ok {
+		g = PlaneGroup(service)
+		p.groups[service] = g
+	}
+	p.mu.Unlock()
+	return g
+}
+
+// publish encodes and stages the call's event. The message rendering
+// is byte-identical to the historical
+//
+//	"%s:%s outcome=%s latency_ms=%s cost_nanodollars=%d principal=%s"
+//
+// Sprintf (log-stream determinism goldens pin it), built with append
+// formatting into a pooled buffer instead.
+func (p *logPublisher) publish(req *plane.Request, err error) {
+	at := req.Ctx.Now()
+	if at.IsZero() && p.clk != nil {
+		at = p.clk.Now()
+	}
+	outcome := "ok"
+	switch {
+	case errors.Is(err, iam.ErrDenied):
+		outcome = "denied"
+	case err != nil:
+		outcome = "error"
+	}
+	var cost pricing.Money
+	for _, u := range req.Metered() {
+		cost += p.book.ListPrice(u)
+	}
+	costNanos := cost.Nanodollars()
+	principal, app := "", ""
+	if req.Ctx != nil {
+		principal, app = req.Ctx.Principal, req.Ctx.App
+	}
+	measurable := false
+	var ms float64
+	if start := req.Start(); !start.IsZero() && !at.Before(start) {
+		measurable = true
+		ms = float64(at.Sub(start)) / float64(time.Millisecond)
+	}
+
+	enc := encPool.Get().(*encoder)
+	b := enc.buf[:0]
+	b = append(b, req.Call.Service...)
+	b = append(b, ':')
+	b = append(b, req.Call.Op...)
+	b = append(b, " outcome="...)
+	b = append(b, outcome...)
+	b = append(b, " latency_ms="...)
+	latLo := len(b)
+	if measurable {
+		b = strconv.AppendFloat(b, ms, 'f', 3, 64)
+	} else {
+		b = append(b, '-')
+	}
+	latHi := len(b)
+	b = append(b, " cost_nanodollars="...)
+	costLo := len(b)
+	b = strconv.AppendInt(b, costNanos, 10)
+	costHi := len(b)
+	b = append(b, " principal="...)
+	b = append(b, principal...)
+	enc.buf = b
+	msg := string(b)
+
+	fs := enc.fields[:0]
+	fs = append(fs,
+		field{k: "service", v: req.Call.Service},
+		field{k: "op", v: req.Call.Op},
+		field{k: "outcome", v: outcome},
+		field{k: "cost_nanodollars", v: msg[costLo:costHi]},
+	)
+	if principal != "" {
+		fs = append(fs, field{k: "principal", v: principal})
+	}
+	if app != "" {
+		fs = append(fs, field{k: "app", v: app})
+	}
+	if measurable {
+		fs = append(fs, field{k: "latency_ms", v: msg[latLo:latHi]})
+	}
+	if err != nil {
+		fs = append(fs, field{k: "error", v: err.Error()})
+	}
+	enc.fields = fs
+
+	p.batch.Log(p.group(req.Call.Service), req.Call.Op, at, msg, fs)
+	encPool.Put(enc)
 }

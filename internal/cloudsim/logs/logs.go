@@ -16,6 +16,15 @@
 // CloudWatch Logs rates through the same PriceBook/meter/bill engine
 // as every other service.
 //
+// Storage is columnar: each stream keeps parallel arrays (timestamps,
+// messages, sequence numbers) plus one shared key/value arena for
+// structured fields, and each group caches its deterministic merged
+// order. The Insights engine (columnar.go) scans those columns
+// directly — no per-event map is materialized on the query path — and
+// the plane interceptor stages events through a Batch (batch.go)
+// drained at virtual-clock ticks and forced before every read, so
+// batching is invisible to queries and goldens.
+//
 // Logging is read-only with respect to the economy: nothing in this
 // package touches the account meter, samples randomness, or advances a
 // flow cursor, so a run with logging on is bit-identical to one with
@@ -60,11 +69,35 @@ type StoredEvent struct {
 	Seq    int64
 }
 
-// stream is one append-only event sequence inside a group.
+// field is one structured key/value slot at rest. Events store their
+// fields as contiguous runs in the stream's shared arena instead of
+// per-event maps.
+type field struct{ k, v string }
+
+// stream is one append-only event sequence inside a group, stored as
+// parallel columns. Event i is (times[i], msgs[i], seqs[i]) with
+// structured fields fields[fieldLo[i]:fieldHi[i]].
 type stream struct {
 	name    string
-	events  []StoredEvent
+	times   []time.Time
+	msgs    []string
+	seqs    []int64
+	fieldLo []int32
+	fieldHi []int32
+	fields  []field
 	nextSeq int64
+}
+
+// fieldsAt returns event i's structured fields (a view into the
+// arena — callers must not mutate or retain it across ingests).
+func (st *stream) fieldsAt(i int32) []field {
+	return st.fields[st.fieldLo[i]:st.fieldHi[i]]
+}
+
+// eventRef addresses one stored event: a stream plus a column index.
+type eventRef struct {
+	st *stream
+	i  int32
 }
 
 // group is a named set of streams under one retention policy.
@@ -72,6 +105,64 @@ type group struct {
 	name      string
 	streams   map[string]*stream
 	retention time.Duration // 0 = keep forever
+	// merged caches every event in the group's deterministic order
+	// (timestamp, then stream name, then sequence). nil = needs
+	// rebuilding after an ingest or retention sweep.
+	merged []eventRef
+}
+
+// mergedRefs returns the group's events in deterministic order,
+// rebuilding the cache if an ingest invalidated it.
+func (g *group) mergedRefs() []eventRef {
+	if g.merged != nil {
+		return g.merged
+	}
+	total := 0
+	for _, st := range g.streams {
+		total += len(st.times)
+	}
+	refs := make([]eventRef, 0, total)
+	for _, st := range g.streams {
+		for i := range st.times {
+			refs = append(refs, eventRef{st: st, i: int32(i)})
+		}
+	}
+	// (time, stream, seq) is a total order — two events in one stream
+	// never share a seq — so the map's iteration order cannot leak.
+	sort.Slice(refs, func(i, j int) bool {
+		a, b := refs[i], refs[j]
+		at, bt := a.st.times[a.i], b.st.times[b.i]
+		if !at.Equal(bt) {
+			return at.Before(bt)
+		}
+		if a.st.name != b.st.name {
+			return a.st.name < b.st.name
+		}
+		return a.st.seqs[a.i] < b.st.seqs[b.i]
+	})
+	g.merged = refs
+	return refs
+}
+
+// windowRefs returns the subrange of the merged order with timestamps
+// in [from, to] (zero times mean unbounded).
+func (g *group) windowRefs(from, to time.Time) []eventRef {
+	refs := g.mergedRefs()
+	lo, hi := 0, len(refs)
+	if !from.IsZero() {
+		lo = sort.Search(len(refs), func(i int) bool {
+			return !refs[i].st.times[refs[i].i].Before(from)
+		})
+	}
+	if !to.IsZero() {
+		hi = sort.Search(len(refs), func(i int) bool {
+			return refs[i].st.times[refs[i].i].After(to)
+		})
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return refs[lo:hi]
 }
 
 // GroupInfo summarizes one log group for inventory listings.
@@ -90,8 +181,13 @@ type Service struct {
 
 	mu            sync.Mutex
 	groups        map[string]*group
+	batches       []*Batch
 	ingestedBytes int64
 	storedBytes   int64
+
+	// Self-telemetry counters (see SelfStats).
+	ingestedEvents int64
+	flushes        int64
 }
 
 // New returns an empty log service over the given clock (nil defaults
@@ -146,27 +242,52 @@ func (s *Service) PutEvents(groupName, streamName string, events ...Event) strin
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	g := s.ensureGroup(groupName)
-	st, ok := g.streams[streamName]
-	if !ok {
-		st = &stream{name: streamName}
-		g.streams[streamName] = st
-	}
+	st := s.ensureStream(g, streamName)
 	for _, e := range events {
-		if e.Time.IsZero() {
-			e.Time = s.clk.Now()
-		}
-		b := eventBytes(e)
-		s.ingestedBytes += b
-		s.storedBytes += b
-		st.events = append(st.events, StoredEvent{
-			Event:  e,
-			Group:  groupName,
-			Stream: streamName,
-			Seq:    st.nextSeq,
-		})
-		st.nextSeq++
+		fs := sortedFields(e.Fields)
+		s.appendLocked(g, st, e.Time, e.Message, fs)
 	}
 	return sequenceToken(groupName, streamName, st.nextSeq)
+}
+
+// sortedFields converts a public Fields map into arena slots, sorted
+// by key so identical maps always store identically.
+func sortedFields(m map[string]string) []field {
+	if len(m) == 0 {
+		return nil
+	}
+	fs := make([]field, 0, len(m))
+	for k, v := range m {
+		fs = append(fs, field{k: k, v: v})
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].k < fs[j].k })
+	return fs
+}
+
+// appendLocked lands one event in a stream's columns, stamping a zero
+// timestamp with the service clock, assigning the next sequence
+// number, and accruing the ingest/storage byte inventory. Caller
+// holds s.mu.
+func (s *Service) appendLocked(g *group, st *stream, at time.Time, msg string, fs []field) {
+	if at.IsZero() {
+		at = s.clk.Now()
+	}
+	b := int64(len(msg)) + EventOverheadBytes
+	for _, f := range fs {
+		b += int64(len(f.k) + len(f.v))
+	}
+	s.ingestedBytes += b
+	s.storedBytes += b
+	s.ingestedEvents++
+	st.times = append(st.times, at)
+	st.msgs = append(st.msgs, msg)
+	st.seqs = append(st.seqs, st.nextSeq)
+	st.nextSeq++
+	lo := int32(len(st.fields))
+	st.fields = append(st.fields, fs...)
+	st.fieldLo = append(st.fieldLo, lo)
+	st.fieldHi = append(st.fieldHi, int32(len(st.fields)))
+	g.merged = nil
 }
 
 // sequenceToken renders the deterministic upload token for a stream
@@ -181,6 +302,7 @@ func sequenceToken(group, stream string, next int64) string {
 func (s *Service) SequenceToken(groupName, streamName string) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.flushLocked()
 	g, ok := s.groups[groupName]
 	if !ok {
 		return ""
@@ -196,6 +318,7 @@ func (s *Service) SequenceToken(groupName, streamName string) string {
 func (s *Service) Groups() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.flushLocked()
 	out := make([]string, 0, len(s.groups))
 	for name := range s.groups {
 		out = append(out, name)
@@ -208,6 +331,7 @@ func (s *Service) Groups() []string {
 func (s *Service) Streams(groupName string) []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.flushLocked()
 	g, ok := s.groups[groupName]
 	if !ok {
 		return nil
@@ -225,13 +349,14 @@ func (s *Service) Streams(groupName string) []string {
 func (s *Service) Inventory() []GroupInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.flushLocked()
 	out := make([]GroupInfo, 0, len(s.groups))
 	for _, g := range s.groups {
 		info := GroupInfo{Name: g.name, Streams: len(g.streams), Retention: g.retention}
 		for _, st := range g.streams {
-			info.Events += len(st.events)
-			for _, e := range st.events {
-				info.Bytes += eventBytes(e.Event)
+			info.Events += len(st.times)
+			for i := range st.msgs {
+				info.Bytes += storedEventBytes(st, int32(i))
 			}
 		}
 		out = append(out, info)
@@ -240,29 +365,54 @@ func (s *Service) Inventory() []GroupInfo {
 	return out
 }
 
+// storedEventBytes is the metered size of the event at ref position i.
+func storedEventBytes(st *stream, i int32) int64 {
+	n := int64(len(st.msgs[i])) + EventOverheadBytes
+	for _, f := range st.fieldsAt(i) {
+		n += int64(len(f.k) + len(f.v))
+	}
+	return n
+}
+
+// materialize rehydrates one stored event into the public shape,
+// rebuilding its Fields map (nil when the event has none).
+func materialize(groupName string, ref eventRef) StoredEvent {
+	st := ref.st
+	e := StoredEvent{
+		Event:  Event{Time: st.times[ref.i], Message: st.msgs[ref.i]},
+		Group:  groupName,
+		Stream: st.name,
+		Seq:    st.seqs[ref.i],
+	}
+	if fs := st.fieldsAt(ref.i); len(fs) > 0 {
+		m := make(map[string]string, len(fs))
+		for _, f := range fs {
+			m[f.k] = f.v
+		}
+		e.Fields = m
+	}
+	return e
+}
+
 // Events returns a group's events within [from, to] (zero times mean
 // unbounded), merged across streams in deterministic order: timestamp,
 // then stream name, then sequence number.
 func (s *Service) Events(groupName string, from, to time.Time) []StoredEvent {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.flushLocked()
 	g, ok := s.groups[groupName]
 	if !ok {
 		return nil
 	}
-	var out []StoredEvent
-	for _, st := range g.streams {
-		for _, e := range st.events {
-			if !from.IsZero() && e.Time.Before(from) {
-				continue
-			}
-			if !to.IsZero() && e.Time.After(to) {
-				continue
-			}
-			out = append(out, e)
-		}
+	refs := g.windowRefs(from, to)
+	if len(refs) == 0 {
+		return nil
 	}
-	sortEvents(out)
+	out := make([]StoredEvent, 0, len(refs))
+	for _, ref := range refs {
+		out = append(out, materialize(groupName, ref))
+	}
 	return out
 }
 
@@ -280,24 +430,42 @@ func (s *Service) Tail(groupName string, n int) []StoredEvent {
 // window as of now, releasing the stored bytes. Groups with no policy
 // keep everything. Explicitly driven — call it when the virtual clock
 // has moved — so two identically-seeded runs expire identically.
+// Pending batches flush first, so an event published just before the
+// clock crossed its expiry is ingested (and billed) before it expires,
+// exactly as under unbatched publication.
 func (s *Service) ApplyRetention(now time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.flushLocked()
 	for _, g := range s.groups {
 		if g.retention <= 0 {
 			continue
 		}
 		cutoff := now.Add(-g.retention)
 		for _, st := range g.streams {
-			kept := st.events[:0]
-			for _, e := range st.events {
-				if e.Time.Before(cutoff) {
-					s.storedBytes -= eventBytes(e.Event)
+			n, fn := 0, int32(0)
+			for i := range st.times {
+				if st.times[i].Before(cutoff) {
+					s.storedBytes -= storedEventBytes(st, int32(i))
+					g.merged = nil
 					continue
 				}
-				kept = append(kept, e)
+				fs := st.fieldsAt(int32(i))
+				st.times[n] = st.times[i]
+				st.msgs[n] = st.msgs[i]
+				st.seqs[n] = st.seqs[i]
+				copy(st.fields[fn:], fs)
+				st.fieldLo[n] = fn
+				fn += int32(len(fs))
+				st.fieldHi[n] = fn
+				n++
 			}
-			st.events = kept
+			st.times = st.times[:n]
+			st.msgs = st.msgs[:n]
+			st.seqs = st.seqs[:n]
+			st.fieldLo = st.fieldLo[:n]
+			st.fieldHi = st.fieldHi[:n]
+			st.fields = st.fields[:fn]
 		}
 	}
 }
@@ -308,6 +476,7 @@ func (s *Service) ApplyRetention(now time.Time) {
 func (s *Service) IngestedBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.flushLocked()
 	return s.ingestedBytes
 }
 
@@ -316,6 +485,7 @@ func (s *Service) IngestedBytes() int64 {
 func (s *Service) StoredBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.flushLocked()
 	return s.storedBytes
 }
 
@@ -329,6 +499,7 @@ func (s *Service) StoredBytes() int64 {
 func (s *Service) Usage() []pricing.Usage {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.flushLocked()
 	const gb = 1 << 30
 	return []pricing.Usage{
 		{Kind: pricing.CWLogsIngestGB, Quantity: float64(s.ingestedBytes) / gb, Resource: "cloudwatch-logs"},
@@ -361,27 +532,22 @@ func (s *Service) ensureGroup(name string) *group {
 	return g
 }
 
-// eventBytes is the metered size of one event.
+// ensureStream returns the named stream in g, creating it if absent.
+// Caller holds s.mu.
+func (s *Service) ensureStream(g *group, name string) *stream {
+	st, ok := g.streams[name]
+	if !ok {
+		st = &stream{name: name}
+		g.streams[name] = st
+	}
+	return st
+}
+
+// eventBytes is the metered size of one public-shape event.
 func eventBytes(e Event) int64 {
 	n := int64(len(e.Message)) + EventOverheadBytes
 	for k, v := range e.Fields {
 		n += int64(len(k) + len(v))
 	}
 	return n
-}
-
-// sortEvents orders events deterministically: timestamp, stream,
-// sequence. Two concurrent flows can land events at the same virtual
-// instant; the (stream, seq) tiebreak keeps merged output stable.
-func sortEvents(evs []StoredEvent) {
-	sort.SliceStable(evs, func(i, j int) bool {
-		a, b := evs[i], evs[j]
-		if !a.Time.Equal(b.Time) {
-			return a.Time.Before(b.Time)
-		}
-		if a.Stream != b.Stream {
-			return a.Stream < b.Stream
-		}
-		return a.Seq < b.Seq
-	})
 }

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sample is one pending batched datum: a resolved series handle plus
+// the timestamped value, 24 pointer-free bytes — the GC never scans a
+// staging buffer.
+type sample struct {
+	h  Handle
+	at int64 // UnixNano
+	v  float64
+}
+
+// batchCap is the pending-buffer size at which a Batch self-flushes.
+// Buffers are allocated once at this capacity and swapped, never
+// grown, so the steady-state publish cost is exactly one slice append.
+const batchCap = 4096
+
+// Batch is a publisher-side staging buffer for samples. The plane
+// interceptors append into a Batch on the hot path instead of
+// inserting into the store; pending samples drain into the series in
+// arrival order when the simulation clock ticks (core wires
+// clock.OnTick to FlushBatches), when the buffer fills, or — forced —
+// before any read, so queries and alarms always see exactly the state
+// an unbatched store would have.
+type Batch struct {
+	svc   *Service
+	mu    sync.Mutex
+	buf   []sample
+	spare []sample
+}
+
+// NewBatch returns a staging buffer draining into s. The service
+// tracks every batch it hands out and drains them all on
+// FlushBatches (and before every read).
+func (s *Service) NewBatch() *Batch {
+	b := &Batch{
+		svc:   s,
+		buf:   make([]sample, 0, batchCap),
+		spare: make([]sample, 0, batchCap),
+	}
+	s.mu.Lock()
+	s.batches = append(s.batches, b)
+	s.mu.Unlock()
+	return b
+}
+
+// Add stages one sample for the series h. Samples drain in Add order
+// at the next flush boundary.
+func (b *Batch) Add(h Handle, at time.Time, v float64) {
+	b.addMany([]sample{{h: h, at: at.UnixNano(), v: v}})
+}
+
+// addMany stages a burst of samples under one lock — the interceptor
+// publishes a call's whole sample set (up to six series) in one append
+// from a stack buffer. The flush trigger fires a few entries shy of
+// capacity so a burst landing near the brim never regrows the buffer.
+func (b *Batch) addMany(ss []sample) {
+	b.mu.Lock()
+	b.buf = append(b.buf, ss...)
+	full := len(b.buf) >= batchCap-8
+	b.mu.Unlock()
+	// Self-flush outside b.mu: the flush path locks svc.mu then b.mu,
+	// so staging must never hold b.mu while entering it.
+	if full {
+		b.svc.FlushBatches()
+	}
+}
+
+// FlushBatches drains every pending batch into the series store. Core
+// wiring calls it from the virtual clock's OnTick hook, making clock
+// movement the deterministic publication boundary; every read API
+// also forces it, so batching is invisible to queries, alarms, and
+// goldens.
+func (s *Service) FlushBatches() {
+	s.mu.Lock()
+	s.flushLocked()
+	s.mu.Unlock()
+}
+
+// flushLocked drains all batches in registration order. Caller holds
+// s.mu. Each batch's buffer is swapped out under the batch's own lock
+// and ingested afterwards, so concurrent publishers only ever contend
+// on the cheap buffer swap.
+func (s *Service) flushLocked() {
+	for _, b := range s.batches {
+		b.mu.Lock()
+		pending := b.buf
+		b.buf = b.spare[:0]
+		b.spare = pending
+		b.mu.Unlock()
+		if len(pending) == 0 {
+			continue
+		}
+		for _, e := range pending {
+			s.insertLocked(e.h, e.at, e.v)
+		}
+		s.batchedSamples += int64(len(pending))
+		s.flushes++
+	}
+}
+
+// SelfStats is the metrics plane's observation of itself.
+type SelfStats struct {
+	// BatchedSamples counts samples that arrived through a Batch.
+	BatchedSamples int64
+	// Flushes counts non-empty batch drains.
+	Flushes int64
+	// OverheadNs is cumulative host-clock time spent inside the plane
+	// interceptor's publish step. Zero unless SetHostClock was called:
+	// the simulator measures its own cost only when a real-time source
+	// is explicitly injected, keeping simulated runs deterministic.
+	OverheadNs int64
+}
+
+// SelfStats reports the service's self-telemetry counters. It does not
+// force a flush — reading the telemetry plane must not perturb it.
+func (s *Service) SelfStats() SelfStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SelfStats{
+		BatchedSamples: s.batchedSamples,
+		Flushes:        s.flushes,
+		OverheadNs:     atomic.LoadInt64(&s.overheadNs),
+	}
+}
+
+// addOverhead accumulates host-clock interceptor time.
+func (s *Service) addOverhead(ns int64) {
+	if ns > 0 {
+		atomic.AddInt64(&s.overheadNs, ns)
+	}
+}
+
+// hostClock, when set, is a real-time nanosecond source used solely to
+// measure the interceptor's own overhead (SelfStats.OverheadNs).
+var hostClock atomic.Value // of func() int64
+
+// SetHostClock injects a host (wall) nanosecond clock for interceptor
+// overhead measurement. The simulator core never sets one — simulated
+// runs measure zero overhead and stay deterministic; diyctl injects
+// time.Now-based nanos so interactive runs can report the telemetry
+// tax in `diyctl metrics`.
+func SetHostClock(fn func() int64) {
+	if fn == nil {
+		return
+	}
+	hostClock.Store(fn)
+}
+
+// hostNow reads the injected host clock, or 0 when none is set.
+func hostNow() int64 {
+	if fn, ok := hostClock.Load().(func() int64); ok {
+		return fn()
+	}
+	return 0
+}

@@ -66,9 +66,35 @@ func (s *Service) Exposition(from, to time.Time) string {
 				fmt.Fprintf(&sb, "# TYPE %s summary\n", flat)
 				wrote = true
 			}
-			fmt.Fprintf(&sb, "%s_count{ns=%q} %d\n", flat, ns, n)
-			fmt.Fprintf(&sb, "%s_sum{ns=%q} %g\n", flat, ns, s.Sum(ns, metric, from, to))
-			fmt.Fprintf(&sb, "%s_max{ns=%q} %g\n", flat, ns, s.Max(ns, metric, from, to))
+			esc := escapeLabel(ns)
+			fmt.Fprintf(&sb, "%s_count{ns=\"%s\"} %d\n", flat, esc, n)
+			fmt.Fprintf(&sb, "%s_sum{ns=\"%s\"} %g\n", flat, esc, s.Sum(ns, metric, from, to))
+			fmt.Fprintf(&sb, "%s_max{ns=\"%s\"} %g\n", flat, esc, s.Max(ns, metric, from, to))
+		}
+	}
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: exactly backslash, double quote, and line feed get a
+// backslash escape, everything else passes through verbatim. (Go's %q
+// is close but not conformant — it escapes tabs, non-ASCII, and other
+// control bytes that Prometheus expects raw.)
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(c)
 		}
 	}
 	return sb.String()

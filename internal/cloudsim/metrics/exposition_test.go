@@ -37,6 +37,11 @@ func TestExpositionGolden(t *testing.T) {
 	s.Record("lambda/proto-chat", MetricLambdaCold, t0, 0)
 	s.Record(AccountNamespace, MetricAccountCostNanos, t0, 1200)
 	s.Record(AccountNamespace, MetricAccountCostNanos, t0.Add(time.Minute), 4200)
+	// Label values with the three characters the Prometheus text format
+	// escapes (backslash, double quote, newline) — nothing stops an app
+	// from naming a resource this way, and an unescaped scrape line is
+	// unparseable.
+	s.Record(`s3/s3:GetObject "quoted\weird`+"\n"+`name"`, MetricPlaneRequests, t0, 1)
 
 	var zero time.Time
 	got := s.Exposition(zero, zero)
@@ -73,6 +78,7 @@ func TestExpositionGolden(t *testing.T) {
 		`plane_denials_count{ns="kms/kms:Decrypt"} 1`,
 		`lambda_run_ms_max{ns="lambda/proto-chat"} 133.54`,
 		`account_cost_nanodollars_max{ns="account"} 4200`,
+		`plane_requests_count{ns="s3/s3:GetObject \"quoted\\weird\nname\""} 1`,
 	} {
 		if !strings.Contains(got, line+"\n") {
 			t.Errorf("exposition missing line %q", line)

@@ -27,42 +27,125 @@ import (
 // them. The interceptor only reads the request — it never meters or
 // mutates — so installing it cannot move a ledger-parity golden by a
 // nanodollar (scripts/check.sh proves this each run).
+//
+// The hot path is interned and batched: each (service, op) resolves
+// its five series handles once, publication is a buffer append drained
+// at clock ticks (see Batch), and no names are formatted per call —
+// the `hotpath` diylint analyzer keeps it that way.
 func PlaneInterceptor(s *Service, book *pricing.PriceBook, clk clock.Clock) plane.Interceptor {
-	var mu sync.Mutex // pairs the cumulative-spend add with its Record
-	var cum int64
+	pub := &publisher{
+		svc:       s,
+		book:      book,
+		clk:       clk,
+		batch:     s.NewBatch(),
+		account:   s.Handle(AccountNamespace, MetricAccountCostNanos),
+		byService: make(map[string]map[string]*opHandles),
+	}
 	return func(next plane.HandlerFunc) plane.HandlerFunc {
 		return func(req *plane.Request) error {
 			err := next(req)
-
-			ns := req.Call.Service + "/" + req.Call.Op
-			at := req.Ctx.Now()
-			if at.IsZero() && clk != nil {
-				at = clk.Now()
-			}
-			s.Record(ns, MetricPlaneRequests, at, 1)
-			switch {
-			case errors.Is(err, iam.ErrDenied):
-				s.Record(ns, MetricPlaneDenials, at, 1)
-			case err != nil:
-				s.Record(ns, MetricPlaneErrors, at, 1)
-			}
-			if start := req.Start(); !start.IsZero() && !at.Before(start) {
-				s.Record(ns, MetricPlaneLatencyMs, at,
-					float64(at.Sub(start))/float64(time.Millisecond))
-			}
-			var cost pricing.Money
-			for _, u := range req.Metered() {
-				cost += book.ListPrice(u)
-			}
-			s.Record(ns, MetricPlaneCostNanos, at, float64(cost.Nanodollars()))
-			mu.Lock()
-			cum += cost.Nanodollars()
-			total := cum
-			mu.Unlock()
-			s.Record(AccountNamespace, MetricAccountCostNanos, at, float64(total))
+			pub.publish(req, err)
 			return err
 		}
 	}
+}
+
+// opHandles caches the five resolved series handles for one
+// (service, op) namespace, so steady-state publication does no key
+// building or map insertion — two map reads and five buffer appends.
+type opHandles struct {
+	requests Handle
+	errs     Handle
+	denials  Handle
+	latency  Handle
+	cost     Handle
+}
+
+// publisher is the per-interceptor publication state, shared by every
+// call on every plane the interceptor instance is installed on (core
+// installs one instance fleet-wide, so the cumulative gauge spans the
+// whole account).
+type publisher struct {
+	svc     *Service
+	book    *pricing.PriceBook
+	clk     clock.Clock
+	batch   *Batch
+	account Handle
+
+	mu        sync.Mutex
+	byService map[string]map[string]*opHandles
+	cum       int64
+}
+
+// publish emits the call's samples as one burst staged from a stack
+// buffer — a single batch append per call. Holding p.mu across the
+// burst pairs each cumulative-gauge update with its sample (the gauge
+// series stays monotone) and keeps one call's samples adjacent in the
+// batch.
+func (p *publisher) publish(req *plane.Request, err error) {
+	t0 := hostNow()
+	at := req.Ctx.Now()
+	if at.IsZero() && p.clk != nil {
+		at = p.clk.Now()
+	}
+	atNs := at.UnixNano()
+	var burst [6]sample
+	n := 0
+	p.mu.Lock()
+	h := p.resolveLocked(req.Call.Service, req.Call.Op)
+	burst[n] = sample{h: h.requests, at: atNs, v: 1}
+	n++
+	switch {
+	case errors.Is(err, iam.ErrDenied):
+		burst[n] = sample{h: h.denials, at: atNs, v: 1}
+		n++
+	case err != nil:
+		burst[n] = sample{h: h.errs, at: atNs, v: 1}
+		n++
+	}
+	if start := req.Start(); !start.IsZero() && !at.Before(start) {
+		burst[n] = sample{h: h.latency, at: atNs,
+			v: float64(at.Sub(start)) / float64(time.Millisecond)}
+		n++
+	}
+	var cost pricing.Money
+	for _, u := range req.Metered() {
+		cost += p.book.ListPrice(u)
+	}
+	burst[n] = sample{h: h.cost, at: atNs, v: float64(cost.Nanodollars())}
+	n++
+	p.cum += cost.Nanodollars()
+	burst[n] = sample{h: p.account, at: atNs, v: float64(p.cum)}
+	n++
+	p.batch.addMany(burst[:n])
+	p.mu.Unlock()
+	if t0 != 0 {
+		p.svc.addOverhead(hostNow() - t0)
+	}
+}
+
+// resolveLocked interns the five series handles for (service, op),
+// building the "service/op" namespace string only on first sight.
+// Caller holds p.mu.
+func (p *publisher) resolveLocked(service, op string) *opHandles {
+	ops := p.byService[service]
+	if ops == nil {
+		ops = make(map[string]*opHandles)
+		p.byService[service] = ops
+	}
+	h := ops[op]
+	if h == nil {
+		ns := service + "/" + op
+		h = &opHandles{
+			requests: p.svc.Handle(ns, MetricPlaneRequests),
+			errs:     p.svc.Handle(ns, MetricPlaneErrors),
+			denials:  p.svc.Handle(ns, MetricPlaneDenials),
+			latency:  p.svc.Handle(ns, MetricPlaneLatencyMs),
+			cost:     p.svc.Handle(ns, MetricPlaneCostNanos),
+		}
+		ops[op] = h
+	}
+	return h
 }
 
 // BudgetAlarm returns the configuration for a monthly-cost budget
@@ -96,4 +179,17 @@ func (s *Service) Usage() []pricing.Usage {
 		{Kind: pricing.CWMetricMonths, Quantity: float64(s.SeriesCount()), Resource: "cloudwatch"},
 		{Kind: pricing.CWAlarmMonths, Quantity: float64(s.AlarmCount()), Resource: "cloudwatch"},
 	}
+}
+
+// SelfPublish records the service's self-telemetry counters as metric
+// series under TelemetryNamespace, timestamped at. The telemetry plane
+// observes itself through the same registry it serves — `diyctl
+// metrics` surfaces these like any other series. Opt-in (core publishes
+// only when CloudOptions.SelfTelemetry is set) because the series
+// count feeds the CloudWatch inventory bill.
+func (s *Service) SelfPublish(at time.Time) {
+	st := s.SelfStats()
+	s.Record(TelemetryNamespace, MetricTelemetrySamples, at, float64(st.BatchedSamples))
+	s.Record(TelemetryNamespace, MetricTelemetryFlushes, at, float64(st.Flushes))
+	s.Record(TelemetryNamespace, MetricTelemetryOverheadNs, at, float64(st.OverheadNs))
 }

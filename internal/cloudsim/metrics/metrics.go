@@ -6,6 +6,19 @@
 // cost series for every service API call; the experiment harness, the
 // alarm state machine (alarm.go), and `diyctl metrics` query windowed
 // statistics over the stored series.
+//
+// Storage is built for a hot write path: each (namespace, metric)
+// series is interned to an integer Handle once, and samples live in
+// fixed-size pointer-free column chunks (nanosecond timestamps and
+// values side by side). Chunks are never reallocated, so a
+// million-sample series costs zero copy-on-growth and the garbage
+// collector never scans the data. Fixed-width sample buckets carry
+// pre-aggregated sum/min/max so wide windows are answered from bucket
+// aggregates instead of a full scan. Publishers on the request plane
+// append through a Batch (batch.go) and pay a buffer append per
+// sample; pending buffers drain at virtual-clock ticks and are
+// force-flushed before any read, so every query and alarm evaluation
+// sees exactly the samples an unbatched store would.
 package metrics
 
 import (
@@ -20,133 +33,366 @@ type Datum struct {
 	Value float64
 }
 
+// Handle is an interned reference to one (namespace, metric) series.
+// Resolving a handle once and publishing through it skips the
+// per-call key build and map lookup of Record.
+type Handle int32
+
+// Chunked column geometry: chunkLen samples per chunk, bucketSize
+// samples per pre-aggregation bucket. bucketSize divides chunkLen so a
+// bucket never straddles a chunk boundary.
+const (
+	chunkShift = 10
+	chunkLen   = 1 << chunkShift // 1024 samples, 16 KiB per chunk
+	chunkMask  = chunkLen - 1
+
+	// bucketSize is the width, in samples, of one pre-aggregation
+	// bucket. Series shorter than a bucket are always scanned linearly,
+	// so small windows and small series keep bit-identical float
+	// accumulation order; only windows spanning whole buckets of a long
+	// series read the pre-aggregated sums.
+	bucketSize = 256
+)
+
+// chunk is one fixed-size run of a series' columns. Allocated once,
+// never copied, and — being pointer-free — never scanned by the GC.
+type chunk struct {
+	ats  [chunkLen]int64 // UnixNano
+	vals [chunkLen]float64
+}
+
+// bucket pre-aggregates one fixed-width run of a series' samples.
+type bucket struct {
+	sum, min, max float64
+}
+
+// series is one stored time series: timestamp-ordered samples in
+// chunked columns plus lazily built bucket aggregates.
+type series struct {
+	namespace string
+	metric    string
+	chunks    []*chunk
+	n         int // total samples
+	// buckets[i] covers samples [i*bucketSize, (i+1)*bucketSize). Only
+	// the first validBuckets entries are current; an out-of-order
+	// insert truncates validity back to its insertion point and the
+	// tail is rebuilt on demand.
+	buckets      []bucket
+	validBuckets int
+}
+
+func (sx *series) at(i int) int64    { return sx.chunks[i>>chunkShift].ats[i&chunkMask] }
+func (sx *series) val(i int) float64 { return sx.chunks[i>>chunkShift].vals[i&chunkMask] }
+
+func (sx *series) set(i int, ns int64, v float64) {
+	c := sx.chunks[i>>chunkShift]
+	c.ats[i&chunkMask] = ns
+	c.vals[i&chunkMask] = v
+}
+
 // Service stores time-series samples by (namespace, metric) and hosts
 // the alarms that watch them (alarm.go). It is safe for concurrent
 // use.
 type Service struct {
-	mu     sync.Mutex
-	series map[string][]Datum
-	alarms []*Alarm
+	mu      sync.Mutex
+	series  []*series
+	index   map[string]Handle
+	batches []*Batch
+	alarms  []*Alarm
+
+	// Self-telemetry counters (see SelfStats): how much work the
+	// telemetry plane itself has done.
+	batchedSamples int64
+	flushes        int64
+	overheadNs     int64 // atomic; host-clock interceptor overhead, see SetHostClock
 }
 
 // New returns an empty metrics service.
 func New() *Service {
-	return &Service{series: make(map[string][]Datum)}
+	return &Service{index: make(map[string]Handle)}
 }
 
 func key(namespace, metric string) string { return namespace + "\x00" + metric }
 
+// Handle interns a (namespace, metric) series and returns its handle.
+// The series itself stays invisible to listings, counts, and the
+// exposition until its first sample lands — interning is free.
+func (s *Service) Handle(namespace, metric string) Handle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.handleLocked(namespace, metric)
+}
+
+// handleLocked resolves or creates the series for (namespace, metric).
+// Caller holds s.mu.
+func (s *Service) handleLocked(namespace, metric string) Handle {
+	k := key(namespace, metric)
+	if h, ok := s.index[k]; ok {
+		return h
+	}
+	h := Handle(len(s.series))
+	s.series = append(s.series, &series{namespace: namespace, metric: metric})
+	s.index[k] = h
+	return h
+}
+
 // Record stores one sample, keeping the series ordered by timestamp.
 // Most publishers emit in clock order so the common case is a plain
-// append, but concurrent request flows each carry their own cursor and
-// can land samples slightly out of order; those are insertion-sorted
-// into place (stably: a sample never moves past an equal timestamp)
-// so window's binary search stays correct.
+// append into the current chunk, but concurrent request flows each
+// carry their own cursor and can land samples slightly out of order;
+// those are shifted into place (stably: a sample never moves past an
+// equal timestamp) so the windowed statistics' binary search stays
+// correct.
 func (s *Service) Record(namespace, metric string, at time.Time, value float64) {
 	s.mu.Lock()
-	k := key(namespace, metric)
-	series := append(s.series[k], Datum{})
-	i := len(series) - 1
-	for i > 0 && series[i-1].At.After(at) {
-		series[i] = series[i-1]
-		i--
-	}
-	series[i] = Datum{At: at, Value: value}
-	s.series[k] = series
+	s.insertLocked(s.handleLocked(namespace, metric), at.UnixNano(), value)
 	s.mu.Unlock()
 }
 
-// window returns the samples within [from, to] (zero times mean
-// unbounded). Record keeps each series in timestamp order, so the from
-// bound is located by binary search; only the to bound needs a scan,
-// and that scan stops at the first sample past it.
+// insertLocked places one sample into a series in timestamp order.
+// Caller holds s.mu.
+func (s *Service) insertLocked(h Handle, ns int64, value float64) {
+	sx := s.series[h]
+	n := sx.n
+	if n&chunkMask == 0 && n>>chunkShift == len(sx.chunks) {
+		sx.chunks = append(sx.chunks, &chunk{})
+	}
+	if n == 0 || sx.at(n-1) <= ns {
+		// In-order append — the steady state. No data moves, no bucket
+		// invalidation (existing buckets cover earlier samples only).
+		sx.set(n, ns, value)
+		sx.n = n + 1
+		return
+	}
+	// Out-of-order: shift the tail right one slot and drop the sample
+	// at its timestamp position (after any equal timestamps, keeping
+	// arrival order stable).
+	pos := sort.Search(n, func(i int) bool { return sx.at(i) > ns })
+	for i := n; i > pos; i-- {
+		sx.set(i, sx.at(i-1), sx.val(i-1))
+	}
+	sx.set(pos, ns, value)
+	sx.n = n + 1
+	if vb := pos / bucketSize; vb < sx.validBuckets {
+		sx.validBuckets = vb
+	}
+}
+
+// ensureBuckets (re)builds bucket aggregates so that at least the
+// first want full buckets are valid.
+func (sx *series) ensureBuckets(want int) {
+	full := sx.n / bucketSize
+	if want > full {
+		want = full
+	}
+	for i := sx.validBuckets; i < want; i++ {
+		base := i * bucketSize
+		c := sx.chunks[base>>chunkShift]
+		vals := c.vals[base&chunkMask : base&chunkMask+bucketSize]
+		b := bucket{sum: 0, min: vals[0], max: vals[0]}
+		for _, v := range vals {
+			b.sum += v
+			if v < b.min {
+				b.min = v
+			}
+			if v > b.max {
+				b.max = v
+			}
+		}
+		if i < len(sx.buckets) {
+			sx.buckets[i] = b
+		} else {
+			sx.buckets = append(sx.buckets, b)
+		}
+	}
+	if want > sx.validBuckets {
+		sx.validBuckets = want
+	}
+}
+
+// lookupLocked returns the series for (namespace, metric), or nil.
+// Caller holds s.mu.
+func (s *Service) lookupLocked(namespace, metric string) *series {
+	if h, ok := s.index[key(namespace, metric)]; ok {
+		return s.series[h]
+	}
+	return nil
+}
+
+// bounds locates the half-open index range [lo, hi) of samples within
+// [from, to] (zero times mean unbounded). The series is
+// timestamp-ordered, so both bounds are binary searches.
+func (sx *series) bounds(from, to time.Time) (lo, hi int) {
+	lo, hi = 0, sx.n
+	if !from.IsZero() {
+		f := from.UnixNano()
+		lo = sort.Search(sx.n, func(i int) bool { return sx.at(i) >= f })
+	}
+	if !to.IsZero() {
+		t := to.UnixNano()
+		hi = sort.Search(sx.n, func(i int) bool { return sx.at(i) > t })
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// window returns a copy of the samples within [from, to]. It exists
+// for tests and debugging; the statistics below aggregate in place
+// without copying.
 func (s *Service) window(namespace, metric string, from, to time.Time) []Datum {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	series := s.series[key(namespace, metric)]
-	lo := 0
-	if !from.IsZero() {
-		lo = sort.Search(len(series), func(i int) bool {
-			return !series[i].At.Before(from)
-		})
+	s.flushLocked()
+	sx := s.lookupLocked(namespace, metric)
+	if sx == nil {
+		return nil
 	}
-	var out []Datum
-	for _, d := range series[lo:] {
-		if !to.IsZero() && d.At.After(to) {
-			break
-		}
-		out = append(out, d)
+	lo, hi := sx.bounds(from, to)
+	if lo == hi {
+		return nil
+	}
+	out := make([]Datum, hi-lo)
+	for i := range out {
+		out[i] = Datum{At: time.Unix(0, sx.at(lo+i)).UTC(), Value: sx.val(lo+i)}
 	}
 	return out
 }
 
+// statRange aggregates sum/min/max over samples [lo, hi), reading
+// whole pre-aggregated buckets for the interior and scanning only the
+// two partial edges. ok is false for an empty range.
+func (sx *series) statRange(lo, hi int) (sum, min, max float64, ok bool) {
+	if lo >= hi {
+		return 0, 0, 0, false
+	}
+	first := true
+	acc := func(s, mn, mx float64) {
+		sum += s
+		if first || mn < min {
+			min = mn
+		}
+		if first || mx > max {
+			max = mx
+		}
+		first = false
+	}
+	bLo := (lo + bucketSize - 1) / bucketSize
+	bHi := hi / bucketSize
+	if bLo >= bHi {
+		// Window inside one bucket (or a short series): plain scan in
+		// timestamp order.
+		for i := lo; i < hi; i++ {
+			v := sx.val(i)
+			acc(v, v, v)
+		}
+		return sum, min, max, true
+	}
+	for i := lo; i < bLo*bucketSize; i++ {
+		v := sx.val(i)
+		acc(v, v, v)
+	}
+	sx.ensureBuckets(bHi)
+	for i := bLo; i < bHi; i++ {
+		b := sx.buckets[i]
+		acc(b.sum, b.min, b.max)
+	}
+	for i := bHi * bucketSize; i < hi; i++ {
+		v := sx.val(i)
+		acc(v, v, v)
+	}
+	return sum, min, max, true
+}
+
+// stat runs fn over the windowed range of a series with batches
+// flushed, under the service lock.
+func (s *Service) stat(namespace, metric string, from, to time.Time, fn func(sx *series, lo, hi int)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	sx := s.lookupLocked(namespace, metric)
+	if sx == nil {
+		return
+	}
+	lo, hi := sx.bounds(from, to)
+	fn(sx, lo, hi)
+}
+
 // Count reports how many samples landed in the window.
 func (s *Service) Count(namespace, metric string, from, to time.Time) int {
-	return len(s.window(namespace, metric, from, to))
+	var n int
+	s.stat(namespace, metric, from, to, func(_ *series, lo, hi int) { n = hi - lo })
+	return n
 }
 
 // Sum reports the window's total.
 func (s *Service) Sum(namespace, metric string, from, to time.Time) float64 {
 	var sum float64
-	for _, d := range s.window(namespace, metric, from, to) {
-		sum += d.Value
-	}
+	s.stat(namespace, metric, from, to, func(sx *series, lo, hi int) {
+		sum, _, _, _ = sx.statRange(lo, hi)
+	})
 	return sum
 }
 
 // Max reports the window's maximum (0 for an empty window).
 func (s *Service) Max(namespace, metric string, from, to time.Time) float64 {
-	data := s.window(namespace, metric, from, to)
-	if len(data) == 0 {
-		return 0
-	}
-	max := data[0].Value
-	for _, d := range data[1:] {
-		if d.Value > max {
-			max = d.Value
+	var max float64
+	s.stat(namespace, metric, from, to, func(sx *series, lo, hi int) {
+		_, _, mx, ok := sx.statRange(lo, hi)
+		if ok {
+			max = mx
 		}
-	}
+	})
 	return max
 }
 
 // Min reports the window's minimum (0 for an empty window).
 func (s *Service) Min(namespace, metric string, from, to time.Time) float64 {
-	data := s.window(namespace, metric, from, to)
-	if len(data) == 0 {
-		return 0
-	}
-	min := data[0].Value
-	for _, d := range data[1:] {
-		if d.Value < min {
-			min = d.Value
+	var min float64
+	s.stat(namespace, metric, from, to, func(sx *series, lo, hi int) {
+		_, mn, _, ok := sx.statRange(lo, hi)
+		if ok {
+			min = mn
 		}
-	}
+	})
 	return min
 }
 
 // Avg reports the window's arithmetic mean (0 for an empty window).
 func (s *Service) Avg(namespace, metric string, from, to time.Time) float64 {
-	data := s.window(namespace, metric, from, to)
-	if len(data) == 0 {
-		return 0
-	}
-	var sum float64
-	for _, d := range data {
-		sum += d.Value
-	}
-	return sum / float64(len(data))
+	var avg float64
+	s.stat(namespace, metric, from, to, func(sx *series, lo, hi int) {
+		sum, _, _, ok := sx.statRange(lo, hi)
+		if ok {
+			avg = sum / float64(hi-lo)
+		}
+	})
+	return avg
 }
 
 // Percentile reports the p-th percentile (nearest rank) of the window,
 // 0 for an empty window.
 func (s *Service) Percentile(namespace, metric string, from, to time.Time, p int) float64 {
-	data := s.window(namespace, metric, from, to)
-	if len(data) == 0 {
+	var vals []float64
+	s.stat(namespace, metric, from, to, func(sx *series, lo, hi int) {
+		if lo == hi {
+			return
+		}
+		vals = make([]float64, 0, hi-lo)
+		for i := lo; i < hi; {
+			c := sx.chunks[i>>chunkShift]
+			off := i & chunkMask
+			end := chunkLen
+			if hi-i < end-off {
+				end = off + (hi - i)
+			}
+			vals = append(vals, c.vals[off:end]...)
+			i += end - off
+		}
+	})
+	if len(vals) == 0 {
 		return 0
-	}
-	vals := make([]float64, len(data))
-	for i, d := range data {
-		vals[i] = d.Value
 	}
 	sort.Float64s(vals)
 	// Nearest-rank definition: the smallest value with at least p% of
@@ -162,14 +408,15 @@ func (s *Service) Percentile(namespace, metric string, from, to time.Time, p int
 }
 
 // Metrics lists the metric names recorded under a namespace, sorted.
+// Interned-but-empty series are invisible until their first sample.
 func (s *Service) Metrics(namespace string) []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.flushLocked()
 	var out []string
-	prefix := namespace + "\x00"
-	for k := range s.series {
-		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
-			out = append(out, k[len(prefix):])
+	for _, sx := range s.series {
+		if sx.namespace == namespace && sx.n > 0 {
+			out = append(out, sx.metric)
 		}
 	}
 	sort.Strings(out)
@@ -181,13 +428,11 @@ func (s *Service) Metrics(namespace string) []string {
 func (s *Service) Namespaces() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.flushLocked()
 	seen := make(map[string]bool)
-	for k := range s.series {
-		for i := 0; i < len(k); i++ {
-			if k[i] == 0 {
-				seen[k[:i]] = true
-				break
-			}
+	for _, sx := range s.series {
+		if sx.n > 0 {
+			seen[sx.namespace] = true
 		}
 	}
 	out := make([]string, 0, len(seen))
@@ -198,10 +443,18 @@ func (s *Service) Namespaces() []string {
 	return out
 }
 
-// SeriesCount reports how many distinct (namespace, metric) series the
-// service stores — the "custom metric" count CloudWatch bills by.
+// SeriesCount reports how many distinct (namespace, metric) series
+// hold at least one sample — the "custom metric" count CloudWatch
+// bills by. Interned handles with no samples yet cost nothing.
 func (s *Service) SeriesCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.series)
+	s.flushLocked()
+	n := 0
+	for _, sx := range s.series {
+		if sx.n > 0 {
+			n++
+		}
+	}
+	return n
 }

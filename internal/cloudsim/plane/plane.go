@@ -103,7 +103,13 @@ type Request struct {
 	Span    *trace.Span
 	plane   *Plane
 	start   time.Time
+	authErr error
+	handler HandlerFunc
 	metered []pricing.Usage
+	// meteredBuf backs metered for the common case (a call fee plus at
+	// most one handler-metered record) so the hot path allocates the
+	// Request and nothing else.
+	meteredBuf [2]pricing.Usage
 }
 
 // Start reports the flow-cursor instant at which the call entered the
@@ -152,6 +158,11 @@ type HandlerFunc func(*Request) error
 // denied calls — the wrapped stage returns the authorization error
 // with the service handler skipped — so cross-cutting observers can
 // count denials.
+//
+// The wrapping happens once, at Use time: the factory is called with
+// the downstream stage and the HandlerFunc it returns is reused for
+// every subsequent call, possibly concurrently. Per-call state belongs
+// on the *Request, not in variables captured at wrap time.
 type Interceptor func(next HandlerFunc) HandlerFunc
 
 // Plane is one service's request pipeline. A nil model disables the
@@ -162,18 +173,39 @@ type Plane struct {
 	meter *pricing.Meter
 	model *netsim.Model
 	extra []Interceptor
+	// chain is the handler stage with every registered interceptor
+	// pre-composed around it, rebuilt on Use. Composing at registration
+	// rather than per call keeps plane.Do free of closure allocations.
+	chain HandlerFunc
 }
 
 // New returns a request plane over the given IAM, meter, and network
 // model (any of which may be nil for services that do not use them).
 func New(iamSvc *iam.Service, meter *pricing.Meter, model *netsim.Model) *Plane {
-	return &Plane{iam: iamSvc, meter: meter, model: model}
+	return &Plane{iam: iamSvc, meter: meter, model: model, chain: dispatch}
 }
 
-// Use registers interceptors around the handler stage. Call it during
-// wiring, before the plane serves requests; Do reads the slice without
-// locking.
-func (p *Plane) Use(is ...Interceptor) { p.extra = append(p.extra, is...) }
+// dispatch is the innermost stage: surface the authorization verdict,
+// then run the service handler. It reads per-call state off the
+// Request so the composed chain can be built once and shared.
+func dispatch(r *Request) error {
+	if r.authErr != nil {
+		return r.authErr
+	}
+	return r.handler(r)
+}
+
+// Use registers interceptors around the handler stage and re-composes
+// the chain. Call it during wiring, before the plane serves requests;
+// Do reads the composed chain without locking. Each interceptor
+// factory runs once, here — see Interceptor.
+func (p *Plane) Use(is ...Interceptor) {
+	p.extra = append(p.extra, is...)
+	p.chain = dispatch
+	for i := len(p.extra) - 1; i >= 0; i-- {
+		p.chain = p.extra[i](p.chain)
+	}
+}
 
 // Do runs one call through the pipeline: span, authorization, latency,
 // metering, then the handler (wrapped by any registered interceptors).
@@ -193,7 +225,8 @@ func (p *Plane) Do(ctx *sim.Context, call *Call, h HandlerFunc) error {
 	for _, a := range call.Annotations {
 		sp.Annotate(a.Key, a.Value)
 	}
-	req := &Request{Ctx: ctx, Call: call, Span: sp, plane: p, start: ctx.Now()}
+	req := &Request{Ctx: ctx, Call: call, Span: sp, plane: p, start: ctx.Now(), handler: h}
+	req.metered = req.meteredBuf[:0]
 
 	// Stage 2: authorization.
 	var authErr error
@@ -239,21 +272,14 @@ func (p *Plane) Do(ctx *sim.Context, call *Call, h HandlerFunc) error {
 		req.metered = append(req.metered, u)
 	}
 
-	// Stage 5: handler, wrapped by the interceptor seam. The innermost
-	// stage returns the authorization error without running the service
-	// handler, so interceptors observe denied calls too — fleet-wide
-	// observability counts denials without a side channel — while the
-	// handler itself still runs only when authorization passed.
-	core := func(r *Request) error {
-		if authErr != nil {
-			return authErr
-		}
-		return h(r)
-	}
-	for i := len(p.extra) - 1; i >= 0; i-- {
-		core = p.extra[i](core)
-	}
-	err := core(req)
+	// Stage 5: handler, wrapped by the pre-composed interceptor chain.
+	// The innermost stage (dispatch) returns the authorization error
+	// without running the service handler, so interceptors observe
+	// denied calls too — fleet-wide observability counts denials
+	// without a side channel — while the handler itself still runs only
+	// when authorization passed.
+	req.authErr = authErr
+	err := p.chain(req)
 	if err != nil && sp != nil {
 		if _, ok := sp.Annotation("error"); !ok {
 			sp.Annotate("error", err.Error())

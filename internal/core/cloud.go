@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cloudsim/clock"
 	"repro/internal/cloudsim/dynamo"
@@ -53,6 +54,8 @@ type Cloud struct {
 	Logs    *logs.Service
 	Tracer  *trace.Recorder
 	Attest  *attest.Platform
+
+	selfTelemetry bool
 }
 
 // CloudOptions configures NewCloud.
@@ -78,6 +81,13 @@ type CloudOptions struct {
 	// with respect to the economy; TestLogsPreserveLedger flips this to
 	// prove a logged run is bit-identical to an unlogged one.
 	DisableLogging bool
+	// SelfTelemetry lets the telemetry plane record its own counters
+	// (samples batched, events ingested, bytes, flushes, interceptor
+	// overhead) as telemetry.* metric series via
+	// Cloud.PublishSelfTelemetry. Off by default: the extra series feed
+	// the CloudWatch custom-metric inventory, so silent self-observation
+	// would move SeriesCount-pinned goldens and the monitoring bill.
+	SelfTelemetry bool
 }
 
 // NewCloud builds a fully wired simulated provider.
@@ -139,12 +149,40 @@ func NewCloud(opts CloudOptions) (*Cloud, error) {
 		c.KMS.SetLogs(c.Logs)
 	}
 
+	// Clock movement is the deterministic publication boundary for the
+	// batched telemetry interceptors: every Advance/Set drains the
+	// pending metric samples and log events into their stores. Reads
+	// force their own flush too, so this is a latency bound, not a
+	// correctness requirement.
+	c.Clock.OnTick(func(time.Time) {
+		c.Metrics.FlushBatches()
+		c.Logs.FlushBatches()
+	})
+	c.selfTelemetry = opts.SelfTelemetry
+
 	att, err := attest.NewPlatform()
 	if err != nil {
 		return nil, fmt.Errorf("core: building cloud %q: %w", opts.Name, err)
 	}
 	c.Attest = att
 	return c, nil
+}
+
+// PublishSelfTelemetry records the telemetry plane's own counters as
+// telemetry.* metric series timestamped at: batched metric samples and
+// flushes, interceptor overhead (zero unless a host clock was
+// injected; see metrics.SetHostClock), and the log plane's ingested
+// event and byte totals. No-op unless CloudOptions.SelfTelemetry was
+// set — the series count feeds the CloudWatch inventory bill, so
+// self-observation is opt-in.
+func (c *Cloud) PublishSelfTelemetry(at time.Time) {
+	if !c.selfTelemetry {
+		return
+	}
+	c.Metrics.SelfPublish(at)
+	ls := c.Logs.SelfStats()
+	c.Metrics.Record(metrics.TelemetryNamespace, metrics.MetricTelemetryEvents, at, float64(ls.Events))
+	c.Metrics.Record(metrics.TelemetryNamespace, metrics.MetricTelemetryBytes, at, float64(ls.Bytes))
 }
 
 // Bill computes the provider's current monthly bill.
