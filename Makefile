@@ -15,7 +15,10 @@ vet:
 
 # lint runs diylint, the repo's domain-invariant analyzer suite
 # (wallclock, globalrand, moneyfloat, spanhygiene, planeroute,
-# metricname, loggroup, hotpath, droppederr). Deliberate findings live in
+# metricname, loggroup, hotpath, droppederr, maporder, globalstate,
+# shardsafe), all twelve driven off one shared call-graph substrate.
+# Output stays human-readable here; CI re-renders the same run with
+# -format=sarif for annotation. Deliberate findings live in
 # .diylint-allow with a justification.
 lint:
 	$(GO) run ./cmd/diylint ./...

@@ -3,16 +3,22 @@
 // nanodollar money discipline (moneyfloat), trace-span coverage
 // (spanhygiene), plane routing (planeroute), metric-name registry
 // discipline (metricname), log-group registry discipline (loggroup),
-// telemetry hot-path allocation discipline (hotpath), and discarded
-// errors (droppederr).
+// telemetry hot-path allocation discipline (hotpath), discarded errors
+// (droppederr), map-iteration-order determinism (maporder), no mutable
+// package-level state (globalstate), and guarded writes across
+// concurrency seams (shardsafe). All twelve run off one shared
+// substrate pass that builds the module call graph and its
+// reachability facts.
 //
 // Usage:
 //
-//	diylint [-allow file] [packages...]
+//	diylint [-allow file] [-format text|json|sarif] [packages...]
 //
 // Packages are directory patterns relative to the module root
 // ("./..." by default; a trailing /... recurses, skipping testdata).
-// Findings print as "file:line: analyzer: message". Exit status is 0
+// With -format=text (the default) findings print as
+// "file:line: analyzer: message"; -format=json emits a JSON array and
+// -format=sarif a SARIF 2.1.0 log for CI annotation. Exit status is 0
 // when clean, 1 when findings remain after the allowlist, and 2 on
 // driver errors.
 //
@@ -23,7 +29,9 @@
 //
 // The justification is required — an unexplained suppression is
 // rejected — and entries that no longer match anything are reported as
-// stale so the file cannot rot.
+// stale so the file cannot rot. Line-scoped entries tolerate line
+// drift: if the exact line no longer matches, the entry binds to the
+// nearest finding of the same analyzer in the same file.
 package main
 
 import (
@@ -37,18 +45,24 @@ import (
 
 func main() {
 	allowFlag := flag.String("allow", "", "allowlist file (default: <module root>/.diylint-allow if present)")
+	formatFlag := flag.String("format", "text", "output format: text, json, or sarif")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: diylint [-allow file] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: diylint [-allow file] [-format text|json|sarif] [packages...]\n\nAnalyzers:\n")
 		for _, a := range analysis.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	os.Exit(run(*allowFlag, flag.Args()))
+	os.Exit(run(*allowFlag, *formatFlag, flag.Args()))
 }
 
-func run(allowPath string, patterns []string) int {
+func run(allowPath, format string, patterns []string) int {
+	switch format {
+	case "text", "json", "sarif":
+	default:
+		return fail(fmt.Errorf("unknown -format %q (want text, json, or sarif)", format))
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -94,10 +108,21 @@ func run(allowPath string, patterns []string) int {
 	findings := analysis.Run(prog, analysis.Analyzers())
 	kept, stale := analysis.Filter(findings, entries, root)
 	for _, e := range stale {
-		fmt.Fprintf(os.Stderr, "diylint: stale allowlist entry: %s %s (matches nothing; remove it)\n", e.Analyzer, e.File)
+		fmt.Fprintf(os.Stderr, "diylint: stale allowlist entry: %s %s (matches nothing; remove it)\n", e.Analyzer, e.Target())
 	}
-	for _, f := range kept {
-		fmt.Println(f.Rel(root))
+	switch format {
+	case "json":
+		if err := analysis.WriteJSON(os.Stdout, kept, root); err != nil {
+			return fail(err)
+		}
+	case "sarif":
+		if err := analysis.WriteSARIF(os.Stdout, kept, root); err != nil {
+			return fail(err)
+		}
+	default:
+		for _, f := range kept {
+			fmt.Println(f.Rel(root))
+		}
 	}
 	if len(kept) > 0 {
 		fmt.Fprintf(os.Stderr, "diylint: %d finding(s)\n", len(kept))

@@ -22,6 +22,14 @@ type AllowEntry struct {
 	used bool
 }
 
+// Target renders the entry's scope as file[:line], for messages.
+func (e *AllowEntry) Target() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("%s:%d", e.File, e.Line)
+	}
+	return e.File
+}
+
 // ParseAllowFile reads a .diylint-allow file. Each non-blank,
 // non-comment line has the form
 //
@@ -81,20 +89,51 @@ func parseAllow(src, name string) ([]*AllowEntry, error) {
 // Filter drops findings matched by an allow entry and returns the
 // survivors plus any entries that matched nothing (stale suppressions
 // worth cleaning up).
+//
+// Matching is two-phase. First, exact: same analyzer, same file, and —
+// for line-scoped entries — the same line. Then, drift: a line-scoped
+// entry whose line matched nothing binds to the nearest remaining
+// finding of the same analyzer in the same file, so an unrelated edit
+// higher in the file does not turn a justified suppression stale (or,
+// worse, let the finding through). An entry suppresses at most one
+// drifted finding; only entries that match nothing at all — the
+// finding is gone, or the analyzer/file changed — are reported stale.
 func Filter(findings []Finding, entries []*AllowEntry, root string) (kept []Finding, stale []*AllowEntry) {
-	for _, f := range findings {
+	rels := make([]string, len(findings))
+	suppressed := make([]bool, len(findings))
+	for i, f := range findings {
 		rel := f.Pos.Filename
 		if r, err := filepath.Rel(root, rel); err == nil {
 			rel = filepath.ToSlash(r)
 		}
-		allowed := false
+		rels[i] = rel
 		for _, e := range entries {
 			if e.Analyzer == f.Analyzer && e.File == rel && (e.Line == 0 || e.Line == f.Pos.Line) {
 				e.used = true
-				allowed = true
+				suppressed[i] = true
 			}
 		}
-		if !allowed {
+	}
+	for _, e := range entries {
+		if e.used || e.Line == 0 {
+			continue
+		}
+		best := -1
+		for i, f := range findings {
+			if suppressed[i] || f.Analyzer != e.Analyzer || rels[i] != e.File {
+				continue
+			}
+			if best == -1 || absInt(f.Pos.Line-e.Line) < absInt(findings[best].Pos.Line-e.Line) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			e.used = true
+			suppressed[best] = true
+		}
+	}
+	for i, f := range findings {
+		if !suppressed[i] {
 			kept = append(kept, f)
 		}
 	}
@@ -104,4 +143,11 @@ func Filter(findings []Finding, entries []*AllowEntry, root string) (kept []Find
 		}
 	}
 	return kept, stale
+}
+
+func absInt(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
 }

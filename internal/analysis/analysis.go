@@ -25,7 +25,21 @@
 //   - hotpath: PlaneInterceptor bodies and the same-package functions
 //     they reach must not fmt.Sprint* or build map literals per call,
 //     so the telemetry fast path's benchmark budget cannot regress;
-//   - droppederr: internal/cloudsim never discards an error with `_ =`.
+//   - droppederr: internal/cloudsim never discards an error with `_ =`;
+//   - maporder: sim code never ranges over a map where the iteration
+//     order can reach observable output (ledger lines, log events,
+//     metric publication, rendered text) — sort the keys first;
+//   - globalstate: sim/app/workload packages declare no mutable
+//     package-level state, so per-account shards cannot alias;
+//   - shardsafe: functions reachable from a concurrency seam (plane
+//     interceptors, clock OnTick hooks, Batch staging buffers) only
+//     write shared fields under a mutex/atomic guard.
+//
+// All analyzers run off a shared substrate (substrate.go): one pass
+// builds the same-module call graph and the reachability/mutation facts
+// (reachable-from-interceptor, reachable-from-OnTick,
+// reachable-from-handler, emits-output, mutated-variables), and each
+// analyzer consumes those facts instead of re-walking every body.
 //
 // The driver is stdlib-only (go/ast, go/parser, go/types): the repo is
 // built offline, so there is no golang.org/x/tools dependency.
@@ -66,6 +80,10 @@ func (f Finding) Rel(root string) string {
 type Pass struct {
 	Fset *token.FileSet
 	Pkg  *Package
+	// Facts is the shared substrate output — call graph, seam
+	// reachability, output-emission, and variable-mutation facts —
+	// computed once per Run and identical across passes.
+	Facts *Facts
 
 	findings *[]Finding
 	name     string
@@ -99,6 +117,9 @@ func Analyzers() []*Analyzer {
 		LogGroup,
 		HotPath,
 		DroppedErr,
+		MapOrder,
+		GlobalState,
+		ShardSafe,
 	}
 }
 
@@ -112,12 +133,14 @@ func AnalyzerNames() []string {
 }
 
 // Run applies the analyzers to every package of prog and returns the
-// findings sorted by position.
+// findings sorted by position. The substrate facts are computed exactly
+// once, up front, and shared by every (package, analyzer) pass.
 func Run(prog *Program, analyzers []*Analyzer) []Finding {
+	facts := ComputeFacts(prog)
 	var findings []Finding
 	for _, pkg := range prog.Pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{Fset: prog.Fset, Pkg: pkg, findings: &findings, name: a.Name}
+			pass := &Pass{Fset: prog.Fset, Pkg: pkg, Facts: facts, findings: &findings, name: a.Name}
 			a.Run(pass)
 		}
 	}

@@ -41,8 +41,15 @@ var fixtureDirs = []string{
 	"internal/cloudsim/hotpathgood",
 	"internal/cloudsim/errbad",
 	"internal/cloudsim/errgood",
+	"internal/cloudsim/mapbad",
+	"internal/cloudsim/mapgood",
+	"internal/cloudsim/globalbad",
+	"internal/cloudsim/globalgood",
+	"internal/cloudsim/shardbad",
+	"internal/cloudsim/shardgood",
 	"moneybad",
 	"moneygood",
+	"graphfix",
 }
 
 func loadFixtures(t *testing.T) *Program {
@@ -92,6 +99,9 @@ var goldenCases = []struct {
 	{LogGroup, "internal/cloudsim/loggroupbad", "internal/cloudsim/loggroupgood"},
 	{HotPath, "internal/cloudsim/hotpathbad", "internal/cloudsim/hotpathgood"},
 	{DroppedErr, "internal/cloudsim/errbad", "internal/cloudsim/errgood"},
+	{MapOrder, "internal/cloudsim/mapbad", "internal/cloudsim/mapgood"},
+	{GlobalState, "internal/cloudsim/globalbad", "internal/cloudsim/globalgood"},
+	{ShardSafe, "internal/cloudsim/shardbad", "internal/cloudsim/shardgood"},
 }
 
 // TestGolden runs each analyzer over its positive and negative fixture
@@ -295,5 +305,87 @@ globalrand c/c.go # never matches
 	}
 	if len(stale) != 1 || stale[0].Analyzer != "globalrand" {
 		t.Errorf("stale = %v, want only the globalrand entry", stale)
+	}
+}
+
+// TestFilterDrift pins the line-drift tolerance: a line-scoped entry
+// whose exact line no longer matches binds to the nearest un-suppressed
+// finding of the same analyzer in the same file — and only then. An
+// entry for another analyzer or another file stays stale no matter how
+// close its line is, and a second entry cannot ride the finding the
+// first one already suppressed.
+func TestFilterDrift(t *testing.T) {
+	root := string(filepath.Separator) + "mod"
+	mk := func(file string, line int, analyzer string) Finding {
+		return Finding{
+			Analyzer: analyzer,
+			Pos:      token.Position{Filename: filepath.Join(root, file), Line: line},
+		}
+	}
+
+	t.Run("binds to nearest same-analyzer finding", func(t *testing.T) {
+		findings := []Finding{
+			mk("a/a.go", 15, "globalstate"),
+			mk("a/a.go", 40, "globalstate"),
+		}
+		entries, err := parseAllow("globalstate a/a.go:12 # drifted three lines\n", "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept, stale := Filter(findings, entries, root)
+		if len(stale) != 0 {
+			t.Errorf("stale = %v, want none: the entry should drift onto line 15", stale)
+		}
+		if len(kept) != 1 || kept[0].Pos.Line != 40 {
+			t.Errorf("kept = %v, want only the line-40 finding (line 15 is nearest to 12)", kept)
+		}
+	})
+
+	t.Run("wrong analyzer or file stays stale", func(t *testing.T) {
+		findings := []Finding{mk("a/a.go", 15, "globalstate")}
+		entries, err := parseAllow(`
+shardsafe a/a.go:15 # same line, wrong analyzer
+globalstate b/b.go:15 # same analyzer, wrong file
+`, "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept, stale := Filter(findings, entries, root)
+		if len(kept) != 1 {
+			t.Errorf("kept = %v, want the finding kept: neither entry may bind to it", kept)
+		}
+		if len(stale) != 2 {
+			t.Errorf("stale = %v, want both entries stale", stale)
+		}
+	})
+
+	t.Run("one finding absorbs only one drifted entry", func(t *testing.T) {
+		findings := []Finding{mk("a/a.go", 15, "globalstate")}
+		entries, err := parseAllow(`
+globalstate a/a.go:14 # binds first
+globalstate a/a.go:16 # nothing left to bind to
+`, "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept, stale := Filter(findings, entries, root)
+		if len(kept) != 0 {
+			t.Errorf("kept = %v, want the finding suppressed by the first entry", kept)
+		}
+		if len(stale) != 1 || stale[0].Line != 16 {
+			t.Errorf("stale = %v, want only the line-16 entry", stale)
+		}
+	})
+}
+
+// TestAllowEntryTarget pins the rendering the stale-entry message uses.
+func TestAllowEntryTarget(t *testing.T) {
+	line := AllowEntry{Analyzer: "globalstate", File: "a/a.go", Line: 12}
+	if got := line.Target(); got != "a/a.go:12" {
+		t.Errorf("line-scoped Target() = %q, want %q", got, "a/a.go:12")
+	}
+	file := AllowEntry{Analyzer: "droppederr", File: "b/b.go"}
+	if got := file.Target(); got != "b/b.go" {
+		t.Errorf("file-scoped Target() = %q, want %q", got, "b/b.go")
 	}
 }

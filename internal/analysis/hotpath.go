@@ -32,58 +32,10 @@ func runHotPath(p *Pass) {
 		return
 	}
 
-	type violation struct {
-		pos  ast.Node
-		what string
-	}
-	type fnInfo struct {
-		callees    []*types.Func
-		violations []violation
-	}
-	infos := make(map[*types.Func]*fnInfo)
-	var roots []*types.Func
-	for _, file := range p.Pkg.Files {
-		for _, d := range file.Decls {
-			decl, ok := d.(*ast.FuncDecl)
-			if !ok || decl.Body == nil {
-				continue
-			}
-			obj, ok := p.Pkg.Info.Defs[decl.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			if decl.Name.Name == "PlaneInterceptor" {
-				roots = append(roots, obj)
-			}
-			fi := &fnInfo{}
-			// Function literals nested in the body (the interceptor
-			// closure itself) are part of the declaring function here.
-			ast.Inspect(decl.Body, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.CallExpr:
-					callee := calleeFunc(p.Pkg.Info, n)
-					if callee == nil || callee.Pkg() == nil {
-						return true
-					}
-					switch {
-					case callee.Pkg().Path() == "fmt" && sprintFuncs[callee.Name()]:
-						fi.violations = append(fi.violations,
-							violation{pos: n, what: "fmt." + callee.Name() + " formats a string"})
-					case callee.Pkg() == p.Pkg.Types:
-						fi.callees = append(fi.callees, callee)
-					}
-				case *ast.CompositeLit:
-					tv, ok := p.Pkg.Info.Types[ast.Expr(n)]
-					if ok && tv.Type != nil {
-						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-							fi.violations = append(fi.violations,
-								violation{pos: n, what: "map composite literal allocates"})
-						}
-					}
-				}
-				return true
-			})
-			infos[obj] = fi
+	var roots []*Node
+	for _, n := range p.Facts.Graph.PkgNodes(p.Pkg) {
+		if n.Fn != nil && n.Fn.Name() == "PlaneInterceptor" {
+			roots = append(roots, n)
 		}
 	}
 	if len(roots) == 0 {
@@ -92,29 +44,57 @@ func runHotPath(p *Pass) {
 
 	// Forward reachability from each PlaneInterceptor through
 	// same-package calls: anything the interceptor can reach runs (or
-	// can run) per published call.
-	hot := make(map[*types.Func]bool)
-	work := append([]*types.Func(nil), roots...)
-	for len(work) > 0 {
-		fn := work[len(work)-1]
-		work = work[:len(work)-1]
-		if hot[fn] {
-			continue
-		}
-		hot[fn] = true
-		if fi, ok := infos[fn]; ok {
-			work = append(work, fi.callees...)
-		}
-	}
+	// can run) per published call. Closures are their own substrate
+	// nodes but display under the declaring function's name, so a
+	// violation inside the interceptor closure still reads "via
+	// PlaneInterceptor".
+	hot := p.Facts.Graph.Reachable(roots, SamePackage)
 
-	for fn, fi := range infos {
-		if !hot[fn] {
+	for _, n := range p.Facts.Graph.PkgNodes(p.Pkg) {
+		if !hot[n] {
 			continue
 		}
-		for _, v := range fi.violations {
-			p.Reportf(v.pos.Pos(),
-				"%s on the telemetry hot path (reachable from PlaneInterceptor via %s); intern names/handles at construction or append into a reused buffer instead",
-				v.what, fn.Name())
+		for _, cs := range n.Calls {
+			callee := cs.Callee
+			if callee == nil || callee.Pkg() == nil {
+				continue
+			}
+			if callee.Pkg().Path() == "fmt" && sprintFuncs[callee.Name()] {
+				p.Reportf(cs.Call.Pos(),
+					"fmt.%s formats a string on the telemetry hot path (reachable from PlaneInterceptor via %s); intern names/handles at construction or append into a reused buffer instead",
+					callee.Name(), n.Name())
+			}
 		}
+		// Map composite literals, in this node's own body only — nested
+		// literals are separate hot nodes and report themselves.
+		inspectShallow(n.Body, func(m ast.Node) {
+			cl, ok := m.(*ast.CompositeLit)
+			if !ok {
+				return
+			}
+			tv, ok := p.Pkg.Info.Types[ast.Expr(cl)]
+			if !ok || tv.Type == nil {
+				return
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				p.Reportf(cl.Pos(),
+					"map composite literal allocates on the telemetry hot path (reachable from PlaneInterceptor via %s); intern names/handles at construction or append into a reused buffer instead",
+					n.Name())
+			}
+		})
 	}
+}
+
+// inspectShallow visits body without descending into nested function
+// literals (their substrate nodes own those bodies); the literal node
+// itself is still visited.
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		fn(n)
+		_, isLit := n.(*ast.FuncLit)
+		return !isLit
+	})
 }

@@ -87,33 +87,31 @@ func runLogGroup(p *Pass) {
 
 	// Rule 2: the group argument of every store-API call is a registry
 	// expression — a constant declared in the logs package, or a call
-	// into it (PlaneGroup, LambdaGroup).
+	// into it (PlaneGroup, LambdaGroup). Call sites come from the
+	// substrate graph — already resolved once for every analyzer.
 	if inRegistry {
 		return
 	}
-	walkFiles(p, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+	for _, node := range p.Facts.Graph.PkgNodes(p.Pkg) {
+		for _, cs := range node.Calls {
+			call, callee := cs.Call, cs.Callee
+			if callee == nil || callee.Pkg() == nil ||
+				!strings.HasSuffix(callee.Pkg().Path(), logsPkgDir) ||
+				!logGroupArgMethods[callee.Name()] || len(call.Args) < 1 {
+				continue
+			}
+			sig, ok := callee.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				continue
+			}
+			if logGroupArgIsRegistryExpr(p.Pkg.Info, call.Args[0]) {
+				continue
+			}
+			p.Reportf(call.Args[0].Pos(),
+				"log group passed to (*logs.Service).%s is not a registry expression; use a LogGroup* constant or a deriver (PlaneGroup, LambdaGroup) from %s so the group cannot typo-fork",
+				callee.Name(), logsPkgDir)
 		}
-		callee := calleeFunc(p.Pkg.Info, call)
-		if callee == nil || callee.Pkg() == nil ||
-			!strings.HasSuffix(callee.Pkg().Path(), logsPkgDir) ||
-			!logGroupArgMethods[callee.Name()] || len(call.Args) < 1 {
-			return true
-		}
-		sig, ok := callee.Type().(*types.Signature)
-		if !ok || sig.Recv() == nil {
-			return true
-		}
-		if logGroupArgIsRegistryExpr(p.Pkg.Info, call.Args[0]) {
-			return true
-		}
-		p.Reportf(call.Args[0].Pos(),
-			"log group passed to (*logs.Service).%s is not a registry expression; use a LogGroup* constant or a deriver (PlaneGroup, LambdaGroup) from %s so the group cannot typo-fork",
-			callee.Name(), logsPkgDir)
-		return true
-	})
+	}
 }
 
 // logGroupArgIsRegistryExpr reports whether expr resolves to a

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder guards replay determinism against Go's randomized map
+// iteration: the fleet engine's parallel event loop must produce
+// bit-identical ledgers, log streams, and metric series on every run,
+// and a `for k := range m` whose body can reach observable output —
+// rendered text, a meter, a log event, a metric sample, a trace
+// annotation — emits in a different order each run. Iterate
+// sortedKeys(m) (internal/cloudsim/sortutil) instead. Folds that are
+// order-insensitive (sums, counts, max, building another map or set)
+// are naturally silent: the body never reaches an output sink.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "sim code must not range over a map where iteration order can reach observable output; sort the keys first",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	if !inSimScope(p.Pkg.Path) {
+		return
+	}
+	for _, node := range p.Facts.Graph.PkgNodes(p.Pkg) {
+		node := node
+		inspectShallow(node.Body, func(n ast.Node) {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			tv, ok := p.Pkg.Info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return
+			}
+			if sink, ok := p.rangeBodyEmits(node, rng); ok {
+				p.Reportf(rng.Pos(),
+					"map iteration order reaches observable output (%s); range over sortedKeys(m) or make the fold order-insensitive so replay stays bit-identical",
+					sink)
+			}
+		})
+	}
+}
+
+// rangeBodyEmits reports whether the range body can reach an output
+// sink: a direct sink call, or a call to a module function that emits
+// (substrate Emits fact). Only call sites lexically inside the range
+// body count; a nested literal declared in the body counts when its own
+// node emits, since it runs (or escapes) once per iteration.
+func (p *Pass) rangeBodyEmits(node *Node, rng *ast.RangeStmt) (string, bool) {
+	within := func(pos ast.Node) bool {
+		return pos.Pos() >= rng.Body.Pos() && pos.End() <= rng.Body.End()
+	}
+	for _, cs := range node.Calls {
+		if !within(cs.Call) {
+			continue
+		}
+		callee := cs.Callee
+		if outputSink(callee) {
+			return "calls " + calleeLabel(callee), true
+		}
+		if callee != nil {
+			if target, ok := p.Facts.Graph.ByFn[callee]; ok && p.Facts.Emits[target] {
+				return "calls " + calleeLabel(callee) + ", which emits", true
+			}
+		}
+	}
+	// Literals declared inside the body run (or escape) per iteration;
+	// if one emits, order leaks through it.
+	found := ""
+	inspectShallow(rng.Body, func(n ast.Node) {
+		if found != "" {
+			return
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if ln, ok := p.Facts.Graph.ByLit[lit]; ok && p.Facts.Emits[ln] {
+				found = "a closure in the body emits"
+			}
+		}
+	})
+	if found != "" {
+		return found, true
+	}
+	return "", false
+}
+
+// calleeLabel renders a callee as pkg.Name for the finding message.
+func calleeLabel(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}

@@ -83,33 +83,31 @@ func runMetricName(p *Pass) {
 	}
 
 	// Rule 2: the metric argument of every stats-API call resolves to a
-	// constant declared in the registry package.
+	// constant declared in the registry package. Call sites come from
+	// the substrate graph — already resolved once for every analyzer.
 	if inRegistry {
 		return
 	}
-	walkFiles(p, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+	for _, node := range p.Facts.Graph.PkgNodes(p.Pkg) {
+		for _, cs := range node.Calls {
+			call, callee := cs.Call, cs.Callee
+			if callee == nil || callee.Pkg() == nil ||
+				!strings.HasSuffix(callee.Pkg().Path(), metricsPkgDir) ||
+				!metricArgMethods[callee.Name()] || len(call.Args) < 2 {
+				continue
+			}
+			sig, ok := callee.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				continue
+			}
+			if metricArgIsRegistryConst(p.Pkg.Info, call.Args[1]) {
+				continue
+			}
+			p.Reportf(call.Args[1].Pos(),
+				"metric name passed to (*metrics.Service).%s is not a registry constant; use a Metric* constant from %s so the series cannot typo-split",
+				callee.Name(), metricsPkgDir)
 		}
-		callee := calleeFunc(p.Pkg.Info, call)
-		if callee == nil || callee.Pkg() == nil ||
-			!strings.HasSuffix(callee.Pkg().Path(), metricsPkgDir) ||
-			!metricArgMethods[callee.Name()] || len(call.Args) < 2 {
-			return true
-		}
-		sig, ok := callee.Type().(*types.Signature)
-		if !ok || sig.Recv() == nil {
-			return true
-		}
-		if metricArgIsRegistryConst(p.Pkg.Info, call.Args[1]) {
-			return true
-		}
-		p.Reportf(call.Args[1].Pos(),
-			"metric name passed to (*metrics.Service).%s is not a registry constant; use a Metric* constant from %s so the series cannot typo-split",
-			callee.Name(), metricsPkgDir)
-		return true
-	})
+	}
 }
 
 // metricArgIsRegistryConst reports whether expr resolves to a constant

@@ -1,8 +1,6 @@
 package analysis
 
 import (
-	"go/ast"
-	"go/types"
 	"strings"
 )
 
@@ -33,65 +31,28 @@ func runPlaneRoute(p *Pass) {
 		return
 	}
 
-	type fnInfo struct {
-		decl    *ast.FuncDecl
-		routes  bool
-		callees []*types.Func
-	}
-	infos := make(map[*types.Func]*fnInfo)
-	for _, file := range p.Pkg.Files {
-		for _, d := range file.Decls {
-			decl, ok := d.(*ast.FuncDecl)
-			if !ok || decl.Body == nil {
-				continue
-			}
-			obj, ok := p.Pkg.Info.Defs[decl.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			fi := &fnInfo{decl: decl}
-			ast.Inspect(decl.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				callee := calleeFunc(p.Pkg.Info, call)
-				if callee == nil || callee.Pkg() == nil {
-					return true
-				}
-				switch {
-				case callee.Name() == "Do" && strings.HasSuffix(callee.Pkg().Path(), "internal/cloudsim/plane"):
-					fi.routes = true
-				case callee.Pkg() == p.Pkg.Types:
-					fi.callees = append(fi.callees, callee)
-				}
-				return true
-			})
-			infos[obj] = fi
-		}
-	}
-
-	// Propagate routing through same-package calls to a fixpoint, so
+	// A node "routes" when one of its own call sites is plane.Do; the
+	// substrate propagates routing through same-package delegation, so
 	// wrappers like kms.do or dynamo.put count for their callers.
-	for changed := true; changed; {
-		changed = false
-		for _, fi := range infos {
-			if fi.routes {
+	routes := p.Facts.Graph.CanReach(p.Pkg, func(n *Node) bool {
+		for _, cs := range n.Calls {
+			callee := cs.Callee
+			if callee == nil || callee.Pkg() == nil {
 				continue
 			}
-			for _, c := range fi.callees {
-				if ci, ok := infos[c]; ok && ci.routes {
-					fi.routes = true
-					changed = true
-					break
-				}
+			if callee.Name() == "Do" && strings.HasSuffix(callee.Pkg().Path(), "internal/cloudsim/plane") {
+				return true
 			}
 		}
-	}
+		return false
+	}, SamePackage)
 
-	for obj, fi := range infos {
-		decl := fi.decl
-		if fi.routes || decl.Recv == nil || !decl.Name.IsExported() {
+	for _, n := range p.Facts.Graph.PkgNodes(p.Pkg) {
+		if n.Fn == nil || routes[n] {
+			continue
+		}
+		decl := n.Decl
+		if decl.Recv == nil || !decl.Name.IsExported() {
 			continue
 		}
 		if !hasSimContextParam(p.Pkg.Info, decl) {
@@ -99,6 +60,6 @@ func runPlaneRoute(p *Pass) {
 		}
 		p.Reportf(decl.Name.Pos(),
 			"exported method %s accepts a *sim.Context but never routes through plane.Do; service calls must pass the request plane (trace, auth, latency, metering) or carry a .diylint-allow justification",
-			obj.Name())
+			n.Fn.Name())
 	}
 }

@@ -42,70 +42,38 @@ func runSpanHygiene(p *Pass) {
 		return
 	}
 
-	type fnInfo struct {
-		decl    *ast.FuncDecl
-		touches bool
-		callees []*types.Func
-	}
-	infos := make(map[*types.Func]*fnInfo)
-	for _, file := range p.Pkg.Files {
-		for _, d := range file.Decls {
-			decl, ok := d.(*ast.FuncDecl)
-			if !ok || decl.Body == nil {
+	// A node "touches tracing" when one of its own call sites opens a
+	// span, calls into the trace package, or routes through the request
+	// plane (whose pipeline opens the span). The substrate's CanReach
+	// propagates that through same-package delegation chains of any
+	// depth — including closures, which are their own nodes with an edge
+	// from the enclosing method.
+	touches := p.Facts.Graph.CanReach(p.Pkg, func(n *Node) bool {
+		for _, cs := range n.Calls {
+			callee := cs.Callee
+			if callee == nil || callee.Pkg() == nil {
 				continue
 			}
-			obj, ok := p.Pkg.Info.Defs[decl.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			fi := &fnInfo{decl: decl}
-			ast.Inspect(decl.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				callee := calleeFunc(p.Pkg.Info, call)
-				if callee == nil || callee.Pkg() == nil {
-					return true
-				}
-				switch {
-				case strings.HasSuffix(callee.Pkg().Path(), "internal/cloudsim/sim") && spanAPI[callee.Name()]:
-					fi.touches = true
-				case strings.HasSuffix(callee.Pkg().Path(), "internal/cloudsim/trace"):
-					fi.touches = true
-				case strings.HasSuffix(callee.Pkg().Path(), "internal/cloudsim/plane"):
-					// plane.Do opens and closes the call's span.
-					fi.touches = true
-				case callee.Pkg() == p.Pkg.Types:
-					fi.callees = append(fi.callees, callee)
-				}
+			callePath := callee.Pkg().Path()
+			switch {
+			case strings.HasSuffix(callePath, "internal/cloudsim/sim") && spanAPI[callee.Name()]:
 				return true
-			})
-			infos[obj] = fi
-		}
-	}
-
-	// Propagate touching through same-package calls to a fixpoint, so
-	// delegation chains of any depth count.
-	for changed := true; changed; {
-		changed = false
-		for _, fi := range infos {
-			if fi.touches {
-				continue
-			}
-			for _, c := range fi.callees {
-				if ci, ok := infos[c]; ok && ci.touches {
-					fi.touches = true
-					changed = true
-					break
-				}
+			case strings.HasSuffix(callePath, "internal/cloudsim/trace"):
+				return true
+			case strings.HasSuffix(callePath, "internal/cloudsim/plane"):
+				// plane.Do opens and closes the call's span.
+				return true
 			}
 		}
-	}
+		return false
+	}, SamePackage)
 
-	for obj, fi := range infos {
-		decl := fi.decl
-		if fi.touches || decl.Recv == nil || !decl.Name.IsExported() {
+	for _, n := range p.Facts.Graph.PkgNodes(p.Pkg) {
+		if n.Fn == nil || touches[n] {
+			continue
+		}
+		decl := n.Decl
+		if decl.Recv == nil || !decl.Name.IsExported() {
 			continue
 		}
 		if !hasSimContextParam(p.Pkg.Info, decl) {
@@ -113,7 +81,7 @@ func runSpanHygiene(p *Pass) {
 		}
 		p.Reportf(decl.Name.Pos(),
 			"exported method %s accepts a *sim.Context but never touches the span API; open a span (ctx.StartSpan/PushSpan) or delegate to a helper that does, so trace coverage does not regress",
-			obj.Name())
+			n.Fn.Name())
 	}
 }
 

@@ -1,0 +1,70 @@
+// Package graphfix exercises the analysis substrate's call-graph
+// corners: a two-function cycle, a method value called through a
+// binding, interface dispatch resolved by the module-implementations
+// fallback, a function literal hanging off its enclosing declaration,
+// and the Emits fact flowing through a helper. substrate_test.go
+// asserts on the graph this package produces; no analyzer runs here.
+package graphfix
+
+import "fmt"
+
+// Ping and Pong form the cycle a fixpoint must not spin on.
+func Ping() { Pong() }
+func Pong() { Ping() }
+
+// T carries the method taken as a value.
+type T struct{}
+
+// M is referenced without being called directly.
+func (T) M() {}
+
+// UseMethodValue binds t.M to f and calls through the binding; the
+// graph needs a reference edge to T.M even though the call site's
+// callee is unresolvable.
+func UseMethodValue(t T) {
+	f := t.M
+	f()
+}
+
+// Ringer is a module interface: calls through it fall back to edges
+// into every module implementation.
+type Ringer interface{ Ring() }
+
+// Bell and Gong both implement Ringer.
+type Bell struct{}
+
+func (Bell) Ring() {}
+
+type Gong struct{}
+
+func (Gong) Ring() { fmt.Println("gong") }
+
+// RingAll dispatches through the interface; the fallback must add
+// edges to Bell.Ring and Gong.Ring.
+func RingAll(r Ringer) { r.Ring() }
+
+// WithLit returns a closure; the literal gets its own node, named and
+// positioned by this enclosing declaration, with an encloser edge in
+// and a call edge out to Ping.
+func WithLit() func() {
+	return func() { Ping() }
+}
+
+// Emit prints, CallsEmit reaches it — the Emits fact must hold for
+// both and for Gong.Ring, and for nothing else here.
+func Emit() { fmt.Println("emit") }
+
+// CallsEmit emits one hop removed.
+func CallsEmit() { Emit() }
+
+// hits is package-level and mutated; reads is package-level and only
+// read — the variable-fact indexes must tell them apart.
+var hits int
+
+var reads = []string{"a", "b"}
+
+// Bump mutates hits and reads reads.
+func Bump() {
+	hits++
+	_ = reads[0]
+}

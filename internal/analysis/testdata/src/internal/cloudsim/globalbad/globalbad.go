@@ -1,0 +1,27 @@
+// Package globalbad keeps mutable state at package level — a counter
+// that is assigned, a cache written through an index, and a mutex whose
+// address the lock call takes. Two account shards in one process would
+// alias every one of them, so globalstate must flag all three.
+package globalbad
+
+import "sync"
+
+// calls is process-global request accounting; shards would double-count
+// through it.
+var calls int // flagged: assigned at runtime
+
+// cache is a process-global memo table; one shard's entries would leak
+// into another's.
+var cache = map[string]string{} // flagged: written through an index
+
+// mu is process-global synchronization; locking it serializes shards
+// that should not even share it.
+var mu sync.Mutex // flagged: pointer-receiver Lock aliases it
+
+// Touch exercises all three variables.
+func Touch(k, v string) {
+	mu.Lock()
+	defer mu.Unlock()
+	calls++
+	cache[k] = v
+}

@@ -1,0 +1,46 @@
+// Package globalgood keeps its state where the fleet engine needs it:
+// on a service struct a Cloud would own per shard. The only
+// package-level variables are genuinely immutable — an error sentinel,
+// a read-only table, a compiled regexp — which globalstate must leave
+// alone.
+package globalgood
+
+import (
+	"errors"
+	"regexp"
+	"sync"
+)
+
+// ErrBusy is an error sentinel: assigned once at initialization, only
+// ever compared afterwards.
+var ErrBusy = errors.New("globalgood: busy")
+
+// hopNames is a read-only lookup table.
+var hopNames = []string{"edge", "core", "origin"}
+
+// keyRE is a compiled pattern; the variable itself (a pointer) is never
+// reassigned, and method calls on it do not alias the variable.
+var keyRE = regexp.MustCompile(`^[a-z]+$`)
+
+// Service owns the mutable state — per-shard, not per-process.
+type Service struct {
+	mu    sync.Mutex
+	calls int
+	cache map[string]string
+}
+
+// Touch mutates only receiver state.
+func (s *Service) Touch(k, v string) error {
+	if !keyRE.MatchString(k) {
+		return ErrBusy
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	if s.cache == nil {
+		s.cache = make(map[string]string)
+	}
+	s.cache[k] = v
+	_ = hopNames[0]
+	return nil
+}

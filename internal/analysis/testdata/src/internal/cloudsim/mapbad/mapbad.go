@@ -1,0 +1,35 @@
+// Package mapbad leaks Go's randomized map iteration order into
+// observable output three ways: printing directly from the range body,
+// delegating to a same-package helper that emits, and invoking an
+// emitting closure per iteration. maporder must flag all three ranges.
+package mapbad
+
+import "fmt"
+
+// Render prints one line per entry straight from the map range — the
+// classic nondeterministic dump.
+func Render(stats map[string]int) {
+	for k, v := range stats { // flagged: direct sink in the body
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Report delegates the emission to a helper; the order still leaks,
+// one hop removed.
+func Report(stats map[string]int) {
+	for k := range stats { // flagged: helper emits
+		emit(k)
+	}
+}
+
+// emit is the helper the substrate's Emits fact must see through.
+func emit(k string) {
+	fmt.Println(k)
+}
+
+// Closure wraps the emission in a per-iteration literal.
+func Closure(stats map[string]int) {
+	for k := range stats { // flagged: closure in the body emits
+		func() { fmt.Println(k) }()
+	}
+}

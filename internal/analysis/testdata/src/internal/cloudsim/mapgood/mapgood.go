@@ -1,0 +1,41 @@
+// Package mapgood iterates maps the deterministic ways: sorting the
+// keys before anything observable happens, or folding order-insensitive
+// aggregates. maporder must stay silent on every function here.
+package mapgood
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Render collects, sorts, then prints — the collect-then-sort idiom the
+// sortedKeys helper packages up. The map range body only appends.
+func Render(stats map[string]int) {
+	keys := make([]string, 0, len(stats))
+	for k := range stats { // silent: append is not a sink
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // silent: ranges a slice, not a map
+		fmt.Printf("%s=%d\n", k, stats[k])
+	}
+}
+
+// Total folds an order-insensitive sum; the emission happens after the
+// loop, on a value the iteration order cannot perturb.
+func Total(stats map[string]int) {
+	sum := 0
+	for _, v := range stats { // silent: the fold is order-insensitive
+		sum += v
+	}
+	fmt.Println(sum)
+}
+
+// Invert builds another map — order-insensitive by construction.
+func Invert(stats map[string]int) map[int]string {
+	out := make(map[int]string, len(stats))
+	for k, v := range stats { // silent: writes a map, emits nothing
+		out[v] = k
+	}
+	return out
+}

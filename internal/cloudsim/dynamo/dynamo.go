@@ -13,7 +13,6 @@ package dynamo
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -23,6 +22,7 @@ import (
 	"repro/internal/cloudsim/netsim"
 	"repro/internal/cloudsim/plane"
 	"repro/internal/cloudsim/sim"
+	"repro/internal/cloudsim/sortutil"
 	"repro/internal/cloudsim/trace"
 	"repro/internal/pricing"
 )
@@ -282,12 +282,11 @@ func (s *Service) Query(ctx *sim.Context, tableName, prefix string) ([]string, e
 		if !ok {
 			return fmt.Errorf("dynamo: %q: %w", tableName, ErrNoSuchTable)
 		}
-		for k := range t.items {
+		for _, k := range sortutil.SortedKeys(t.items) {
 			if strings.HasPrefix(k, prefix) {
 				keys = append(keys, k)
 			}
 		}
-		sort.Strings(keys)
 		return nil
 	})
 	if err != nil {

@@ -98,8 +98,8 @@ func (s *Service) flushLocked() {
 			continue
 		}
 		for _, e := range pending {
-			g := s.ensureGroup(e.group)
-			st := s.ensureStream(g, e.stream)
+			g := s.ensureGroupLocked(e.group)
+			st := s.ensureStreamLocked(g, e.stream)
 			s.appendLocked(g, st, e.at, e.msg, fields[e.fieldLo:e.fieldHi])
 		}
 		s.flushes++

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/cloudsim/clock"
+	"repro/internal/cloudsim/sortutil"
 	"repro/internal/pricing"
 )
 
@@ -205,7 +206,7 @@ func New(clk clock.Clock) *Service {
 // exists.
 func (s *Service) CreateGroup(name string) {
 	s.mu.Lock()
-	s.ensureGroup(name)
+	s.ensureGroupLocked(name)
 	s.mu.Unlock()
 }
 
@@ -219,7 +220,7 @@ func (s *Service) SetRetention(name string, d time.Duration) {
 		d = 0
 	}
 	s.mu.Lock()
-	s.ensureGroup(name).retention = d
+	s.ensureGroupLocked(name).retention = d
 	s.mu.Unlock()
 }
 
@@ -241,8 +242,8 @@ func (s *Service) Retention(name string) time.Duration {
 func (s *Service) PutEvents(groupName, streamName string, events ...Event) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	g := s.ensureGroup(groupName)
-	st := s.ensureStream(g, streamName)
+	g := s.ensureGroupLocked(groupName)
+	st := s.ensureStreamLocked(g, streamName)
 	for _, e := range events {
 		fs := sortedFields(e.Fields)
 		s.appendLocked(g, st, e.Time, e.Message, fs)
@@ -319,12 +320,7 @@ func (s *Service) Groups() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.flushLocked()
-	out := make([]string, 0, len(s.groups))
-	for name := range s.groups {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
+	return sortutil.SortedKeys(s.groups)
 }
 
 // Streams lists a group's stream names, sorted.
@@ -336,12 +332,7 @@ func (s *Service) Streams(groupName string) []string {
 	if !ok {
 		return nil
 	}
-	out := make([]string, 0, len(g.streams))
-	for name := range g.streams {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
+	return sortutil.SortedKeys(g.streams)
 }
 
 // Inventory summarizes every group (streams, events, stored bytes),
@@ -351,9 +342,11 @@ func (s *Service) Inventory() []GroupInfo {
 	defer s.mu.Unlock()
 	s.flushLocked()
 	out := make([]GroupInfo, 0, len(s.groups))
-	for _, g := range s.groups {
+	for _, name := range sortutil.SortedKeys(s.groups) {
+		g := s.groups[name]
 		info := GroupInfo{Name: g.name, Streams: len(g.streams), Retention: g.retention}
-		for _, st := range g.streams {
+		for _, stName := range sortutil.SortedKeys(g.streams) {
+			st := g.streams[stName]
 			info.Events += len(st.times)
 			for i := range st.msgs {
 				info.Bytes += storedEventBytes(st, int32(i))
@@ -361,7 +354,6 @@ func (s *Service) Inventory() []GroupInfo {
 		}
 		out = append(out, info)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
@@ -521,9 +513,9 @@ func (s *Service) Dump() []string {
 	return out
 }
 
-// ensureGroup returns the named group, creating it if absent. Caller
+// ensureGroupLocked returns the named group, creating it if absent. Caller
 // holds s.mu.
-func (s *Service) ensureGroup(name string) *group {
+func (s *Service) ensureGroupLocked(name string) *group {
 	g, ok := s.groups[name]
 	if !ok {
 		g = &group{name: name, streams: make(map[string]*stream)}
@@ -532,9 +524,9 @@ func (s *Service) ensureGroup(name string) *group {
 	return g
 }
 
-// ensureStream returns the named stream in g, creating it if absent.
+// ensureStreamLocked returns the named stream in g, creating it if absent.
 // Caller holds s.mu.
-func (s *Service) ensureStream(g *group, name string) *stream {
+func (s *Service) ensureStreamLocked(g *group, name string) *stream {
 	st, ok := g.streams[name]
 	if !ok {
 		st = &stream{name: name}

@@ -25,6 +25,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/cloudsim/sortutil"
 )
 
 // Datum is one recorded sample.
@@ -435,12 +437,7 @@ func (s *Service) Namespaces() []string {
 			seen[sx.namespace] = true
 		}
 	}
-	out := make([]string, 0, len(seen))
-	for ns := range seen {
-		out = append(out, ns)
-	}
-	sort.Strings(out)
-	return out
+	return sortutil.SortedKeys(seen)
 }
 
 // SeriesCount reports how many distinct (namespace, metric) series

@@ -9,7 +9,6 @@ package s3
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -20,6 +19,7 @@ import (
 	"repro/internal/cloudsim/netsim"
 	"repro/internal/cloudsim/plane"
 	"repro/internal/cloudsim/sim"
+	"repro/internal/cloudsim/sortutil"
 	"repro/internal/cloudsim/trace"
 	"repro/internal/crypto/envelope"
 	"repro/internal/pricing"
@@ -271,12 +271,11 @@ func (s *Service) List(ctx *sim.Context, bucketName, prefix string) ([]string, e
 			return fmt.Errorf("s3: %q: %w", bucketName, ErrNoSuchBucket)
 		}
 		keys = make([]string, 0, len(b.objects))
-		for k := range b.objects {
+		for _, k := range sortutil.SortedKeys(b.objects) {
 			if strings.HasPrefix(k, prefix) {
 				keys = append(keys, k)
 			}
 		}
-		sort.Strings(keys)
 		return nil
 	})
 	if err != nil {

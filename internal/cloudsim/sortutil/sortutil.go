@@ -1,0 +1,25 @@
+// Package sortutil holds the one helper the determinism discipline
+// leans on everywhere: iterate maps in sorted key order. Go randomizes
+// map iteration per run, so any map range whose order can reach
+// observable output — a ledger line, a log event, a metric sample,
+// rendered text — must walk SortedKeys(m) instead. The maporder
+// analyzer (internal/analysis) enforces the rule; this package is the
+// shared fix, replacing the ad-hoc collect-append-sort triple at each
+// site.
+package sortutil
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order. The result is a fresh
+// slice; callers may keep or mutate it.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

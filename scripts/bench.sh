@@ -1,7 +1,7 @@
 #!/bin/sh
-# bench.sh — snapshot the cloudsim hot-path benchmarks into
+# bench.sh — snapshot the cloudsim hot-path and diylint benchmarks into
 # BENCH_cloudsim.json so interceptor-chain, window-lookup, log
-# ingestion, and Insights-scan regressions show up as a diff.
+# ingestion, Insights-scan, and analyzer-suite regressions show up as a diff.
 # `make bench` runs this.
 set -eu
 cd "$(dirname "$0")/.."
@@ -10,8 +10,8 @@ OUT=BENCH_cloudsim.json
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkDoInterceptors|BenchmarkWindowNarrow|BenchmarkLogsIngest|BenchmarkInsightsScan' -benchmem \
-	./internal/cloudsim/plane ./internal/cloudsim/metrics ./internal/cloudsim/logs | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkDoInterceptors|BenchmarkWindowNarrow|BenchmarkLogsIngest|BenchmarkInsightsScan|BenchmarkDiylint' -benchmem \
+	./internal/cloudsim/plane ./internal/cloudsim/metrics ./internal/cloudsim/logs ./internal/analysis | tee "$RAW"
 
 awk '
 BEGIN { print "[" }

@@ -7,7 +7,7 @@ cd "$(dirname "$0")/.."
 echo ">> go vet ./..."
 go vet ./...
 
-echo ">> diylint ./... (domain invariants: wallclock, globalrand, moneyfloat, spanhygiene, planeroute, metricname, loggroup, hotpath, droppederr)"
+echo ">> diylint ./... (domain invariants: wallclock, globalrand, moneyfloat, spanhygiene, planeroute, metricname, loggroup, hotpath, droppederr, maporder, globalstate, shardsafe)"
 go run ./cmd/diylint ./...
 
 echo ">> ledger parity (Tables 1-3 + metrics3 + logs3 bit-identical to committed goldens; observability/logging on == off)"
