@@ -1,0 +1,38 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+)
+
+// fleetDemo runs the fleet-scale experiment: N independent DIY
+// accounts, each its own simulated cloud, replayed deterministically
+// across all cores.
+func fleetDemo(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	accounts := fs.Int("accounts", 1000, "fleet size to model")
+	span := fs.Duration("span", 30*time.Minute, "simulated activity window per account")
+	seed := fs.Int64("seed", 1, "fleet master seed")
+	maxSim := fs.Int("max-simulated", 10000, "cap on accounts actually simulated (larger fleets are sampled, with the scaling reported)")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); never affects results")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep, err := experiments.RunFleet(fleet.Config{
+		Accounts:     *accounts,
+		MaxSimulated: *maxSim,
+		Seed:         *seed,
+		Span:         *span,
+		Workers:      *workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	return nil
+}

@@ -10,6 +10,7 @@
 //	diyctl logs      # CloudWatch Logs-sim: REPORT lines, Insights queries
 //	diyctl tcb       # print the trusted-computing-base comparison
 //	diyctl bill      # price the paper's Table 2 workloads
+//	diyctl fleet     # simulate a fleet of independent DIY accounts
 package main
 
 import (
@@ -54,6 +55,8 @@ func main() {
 		err = logsDemo()
 	case "bill":
 		fmt.Println(experiments.RenderTable2(experiments.RunTable2()))
+	case "fleet":
+		err = fleetDemo(flag.Args()[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -64,7 +67,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: diyctl <demo|store|attest|stream|trace|metrics|logs|tcb|bill>")
+	fmt.Fprintln(os.Stderr, "usage: diyctl <demo|store|attest|stream|trace|metrics|logs|tcb|bill|fleet>")
+	fmt.Fprintln(os.Stderr, "       diyctl fleet [-accounts N] [-span D] [-seed S] [-max-simulated N] [-workers N]")
 }
 
 // demo runs the end-to-end scenario: deploy chat and email for a user,

@@ -47,6 +47,8 @@ var fixtureDirs = []string{
 	"internal/cloudsim/globalgood",
 	"internal/cloudsim/shardbad",
 	"internal/cloudsim/shardgood",
+	"internal/fleet/shardfleetbad",
+	"internal/fleet/shardfleetgood",
 	"moneybad",
 	"moneygood",
 	"graphfix",
@@ -89,19 +91,24 @@ var goldenCases = []struct {
 	analyzer *Analyzer
 	bad      string // fixture with findings
 	good     string // fixture that must stay silent
+	golden   string // golden file basename; analyzer name if empty
 }{
-	{WallClock, "internal/cloudsim/wallbad", "internal/cloudsim/wallgood"},
-	{GlobalRand, "internal/cloudsim/randbad", "internal/cloudsim/randgood"},
-	{MoneyFloat, "moneybad", "moneygood"},
-	{SpanHygiene, "internal/cloudsim/spanbad", "internal/cloudsim/spangood"},
-	{PlaneRoute, "internal/cloudsim/planebad", "internal/cloudsim/planegood"},
-	{MetricName, "internal/cloudsim/metricbad", "internal/cloudsim/metricgood"},
-	{LogGroup, "internal/cloudsim/loggroupbad", "internal/cloudsim/loggroupgood"},
-	{HotPath, "internal/cloudsim/hotpathbad", "internal/cloudsim/hotpathgood"},
-	{DroppedErr, "internal/cloudsim/errbad", "internal/cloudsim/errgood"},
-	{MapOrder, "internal/cloudsim/mapbad", "internal/cloudsim/mapgood"},
-	{GlobalState, "internal/cloudsim/globalbad", "internal/cloudsim/globalgood"},
-	{ShardSafe, "internal/cloudsim/shardbad", "internal/cloudsim/shardgood"},
+	{WallClock, "internal/cloudsim/wallbad", "internal/cloudsim/wallgood", ""},
+	{GlobalRand, "internal/cloudsim/randbad", "internal/cloudsim/randgood", ""},
+	{MoneyFloat, "moneybad", "moneygood", ""},
+	{SpanHygiene, "internal/cloudsim/spanbad", "internal/cloudsim/spangood", ""},
+	{PlaneRoute, "internal/cloudsim/planebad", "internal/cloudsim/planegood", ""},
+	{MetricName, "internal/cloudsim/metricbad", "internal/cloudsim/metricgood", ""},
+	{LogGroup, "internal/cloudsim/loggroupbad", "internal/cloudsim/loggroupgood", ""},
+	{HotPath, "internal/cloudsim/hotpathbad", "internal/cloudsim/hotpathgood", ""},
+	{DroppedErr, "internal/cloudsim/errbad", "internal/cloudsim/errgood", ""},
+	{MapOrder, "internal/cloudsim/mapbad", "internal/cloudsim/mapgood", ""},
+	{GlobalState, "internal/cloudsim/globalbad", "internal/cloudsim/globalgood", ""},
+	{ShardSafe, "internal/cloudsim/shardbad", "internal/cloudsim/shardgood", ""},
+	// The same analyzer again over the fleet scheduler seam: shard
+	// worker goroutines as reachability roots. A distinct golden name
+	// keeps it from colliding with the cloudsim shardsafe golden.
+	{ShardSafe, "internal/fleet/shardfleetbad", "internal/fleet/shardfleetgood", "shardfleet"},
 }
 
 // TestGolden runs each analyzer over its positive and negative fixture
@@ -111,7 +118,11 @@ var goldenCases = []struct {
 func TestGolden(t *testing.T) {
 	prog := loadFixtures(t)
 	for _, tc := range goldenCases {
-		t.Run(tc.analyzer.Name, func(t *testing.T) {
+		golden := tc.golden
+		if golden == "" {
+			golden = tc.analyzer.Name
+		}
+		t.Run(golden, func(t *testing.T) {
 			sub := subProgram(prog, tc.bad, tc.good)
 			if len(sub.Pkgs) != 2 {
 				t.Fatalf("want 2 fixture packages, loaded %d", len(sub.Pkgs))
@@ -137,7 +148,7 @@ func TestGolden(t *testing.T) {
 				t.Errorf("negative fixture %s produced %d %s findings", tc.good, goodHits, tc.analyzer.Name)
 			}
 
-			goldenPath := filepath.Join(moduleRoot, "internal/analysis/testdata/golden", tc.analyzer.Name+".golden")
+			goldenPath := filepath.Join(moduleRoot, "internal/analysis/testdata/golden", golden+".golden")
 			if *update {
 				if err := os.WriteFile(goldenPath, []byte(sb.String()), 0o644); err != nil {
 					t.Fatal(err)

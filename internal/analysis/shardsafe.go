@@ -6,11 +6,13 @@ import (
 	"strings"
 )
 
-// ShardSafe guards the concurrency seams the parallel fleet loop will
-// widen: code reachable from a plane interceptor (runs per published
-// call, concurrently with every shard), from a clock OnTick hook (runs
-// at every timeline move), or inside the Batch staging buffers' method
-// sets (written by publishers, drained by the tick goroutine) must not
+// ShardSafe guards the concurrency seams of the parallel fleet loop:
+// code reachable from a plane interceptor (runs per published call,
+// concurrently with every shard), from a clock OnTick hook (runs at
+// every timeline move), inside the Batch staging buffers' method sets
+// (written by publishers, drained by the tick goroutine), or from a
+// fleet shard-worker goroutine (shards run concurrently on all cores)
+// must not
 // write a field of a value it did not create — receiver, parameter, or
 // captured variable — without a guard in the enclosing method set: a
 // sync.Mutex/RWMutex Lock in the body, or the repo's *Locked naming
@@ -20,7 +22,7 @@ import (
 // per checkout) carry a justified .diylint-allow entry.
 var ShardSafe = &Analyzer{
 	Name: "shardsafe",
-	Doc:  "code reachable from concurrency seams (plane interceptors, clock OnTick hooks, Batch method sets) must guard shared field writes with a mutex or *Locked convention",
+	Doc:  "code reachable from concurrency seams (plane interceptors, clock OnTick hooks, Batch method sets, fleet shard workers) must guard shared field writes with a mutex or *Locked convention",
 	Run:  runShardSafe,
 }
 
@@ -146,6 +148,8 @@ func seamName(f *Facts, n *Node) string {
 		return "a plane interceptor (runs per published call)"
 	case f.ReachOnTick[n]:
 		return "a clock OnTick hook (runs at every timeline move)"
+	case f.ReachFleet[n]:
+		return "a fleet shard worker (shards run concurrently on all cores)"
 	default:
 		return "a Batch staging buffer (written by publishers, drained at ticks)"
 	}

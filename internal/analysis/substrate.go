@@ -130,11 +130,18 @@ type Facts struct {
 	// ReachHandler marks nodes reachable from a service handler passed
 	// to plane.Do: the per-call state-mutating stage.
 	ReachHandler map[*Node]bool
+	// ReachFleet marks nodes reachable (same-package) from a goroutine
+	// body spawned inside internal/fleet: the shard workers that run
+	// account simulations concurrently on every core. The filter stays
+	// same-package because cross-package callees (the simulator, the
+	// apps) operate on shard-private per-account state by construction;
+	// the seam risk is fleet-package bookkeeping shared across workers.
+	ReachFleet map[*Node]bool
 	// ReachSeam is the union of the concurrency seams shardsafe guards:
-	// interceptor roots, OnTick hooks, and the method sets of the
+	// interceptor roots, OnTick hooks, the method sets of the
 	// publisher-side Batch staging buffers (metrics.Batch / logs.Batch),
 	// which are by construction written from publisher goroutines and
-	// drained from the tick goroutine.
+	// drained from the tick goroutine — and the fleet shard workers.
 	ReachSeam map[*Node]bool
 
 	// Emits marks nodes that can reach an order-observable output sink:
@@ -214,8 +221,12 @@ func ComputeFacts(prog *Program) *Facts {
 	f.ReachInterceptor = b.graph.Reachable(b.interceptorRoots, anyEdge)
 	f.ReachOnTick = b.graph.Reachable(b.onTickRoots, anyEdge)
 	f.ReachHandler = b.graph.Reachable(b.handlerRoots, anyEdge)
+	f.ReachFleet = b.graph.Reachable(b.fleetRoots, SamePackage)
 	seamRoots := append(append(append([]*Node(nil), b.interceptorRoots...), b.onTickRoots...), batchRoots...)
 	f.ReachSeam = b.graph.Reachable(seamRoots, anyEdge)
+	for n := range f.ReachFleet {
+		f.ReachSeam[n] = true
+	}
 	f.Emits = b.computeEmits()
 	return f
 }
@@ -303,6 +314,7 @@ type graphBuilder struct {
 	interceptorRoots []*Node
 	onTickRoots      []*Node
 	handlerRoots     []*Node
+	fleetRoots       []*Node
 }
 
 // collectNodes creates a node for every function declaration and every
@@ -386,6 +398,13 @@ func (w *bodyWalker) walk(root ast.Node, cur *Node) {
 			}
 			w.walk(n.Body, lit)
 			return false // the recursive walk owns the body
+		case *ast.GoStmt:
+			// A goroutine launched inside the fleet package is a shard
+			// worker: its body (and everything it reaches in-package)
+			// runs concurrently with every other worker.
+			if pathWithin(w.pkg.Path, "internal/fleet") {
+				w.b.fleetRoots = append(w.b.fleetRoots, w.argNodes([]ast.Expr{n.Call.Fun})...)
+			}
 		case *ast.CallExpr:
 			w.call(n, cur)
 		case *ast.Ident:

@@ -1,0 +1,39 @@
+// Package shardfleetbad mutates state shared across fleet shard
+// workers without a guard: the scheduler spawns worker goroutines and
+// each one bumps counters on a tally every worker can see — directly
+// in the goroutine body and through an in-package helper. shardsafe
+// must flag both writes.
+package shardfleetbad
+
+import "sync"
+
+// tally aggregates across shards; every worker aliases it.
+type tally struct {
+	requests int
+	errs     int
+}
+
+// RunShards fans shards out to worker goroutines, fleet-style, but
+// lets the workers race on the shared tally.
+func RunShards(shards [][]int) *tally {
+	t := &tally{}
+	var wg sync.WaitGroup
+	for _, shard := range shards {
+		wg.Add(1)
+		go func(shard []int) {
+			defer wg.Done()
+			t.requests += len(shard) // flagged: unguarded write from a shard worker
+			t.note(len(shard))
+		}(shard)
+	}
+	wg.Wait()
+	return t
+}
+
+// note is reachable (same package) from the worker goroutine, so its
+// unguarded write is on the seam too.
+func (t *tally) note(n int) {
+	if n == 0 {
+		t.errs++ // flagged: unguarded write reachable from a shard worker
+	}
+}

@@ -1,0 +1,41 @@
+// Package shardfleetgood runs the same shard fan-out as shardfleetbad
+// but with the fleet engine's two legitimate patterns: each worker
+// writes only the result slot its shard owns (slice-element writes to
+// owned slots are not shared-field mutation), and cross-shard
+// aggregation goes through a mutex with a *Locked helper. shardsafe
+// must stay silent on every function here.
+package shardfleetgood
+
+import "sync"
+
+// tally guards its cross-shard counter with its own mutex.
+type tally struct {
+	mu       sync.Mutex
+	requests int
+}
+
+// RunShards fans shards out to workers; per-shard results land in
+// owned slots, the shared tally is updated under the lock.
+func RunShards(shards [][]int) ([]int, *tally) {
+	t := &tally{}
+	out := make([]int, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = len(shards[i]) // silent: each worker owns its slot
+			t.mu.Lock()
+			t.addLocked(len(shards[i]))
+			t.mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return out, t
+}
+
+// addLocked mutates with the lock held by its caller — the naming
+// convention shardsafe honors.
+func (t *tally) addLocked(n int) {
+	t.requests += n // silent: *Locked means the caller holds t.mu
+}

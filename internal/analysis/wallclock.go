@@ -5,7 +5,7 @@ import "go/types"
 // simScopes are the module subtrees that must stay on the injected
 // virtual timeline: the service simulators, the applications driven
 // through them, and the workload generators.
-var simScopes = []string{"internal/cloudsim", "internal/apps", "internal/workload"}
+var simScopes = []string{"internal/cloudsim", "internal/apps", "internal/workload", "internal/fleet"}
 
 // inSimScope reports whether pkgPath is simulator/app/workload code.
 func inSimScope(pkgPath string) bool {

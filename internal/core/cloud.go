@@ -58,6 +58,44 @@ type Cloud struct {
 	selfTelemetry bool
 }
 
+// Shared bundles the immutable pieces of a provider that every account
+// in a fleet can alias instead of rebuilding: the price book, the base
+// latency-model parameters, and the attestation platform (whose ed25519
+// keypair generation is the dominant per-Cloud construction cost — one
+// keypair serves a million accounts the way one real provider's
+// attestation root serves all its tenants). Everything here is
+// read-only after construction, so shards may share it freely; all
+// mutable state (meter, stores, telemetry planes, clock) stays
+// per-Cloud.
+type Shared struct {
+	// Book is the price book accounts bill against.
+	Book *pricing.PriceBook
+	// Params are the base latency-model parameters. A fleet copies them
+	// per account and overrides only Seed, so every account gets an
+	// independent — but identically shaped — latency stream.
+	Params netsim.Params
+	// Attest is the provider's enclave attestation platform.
+	Attest *attest.Platform
+}
+
+// NewShared resolves defaults (Default2017 book, DefaultParams) and
+// generates the attestation keypair once, for reuse across every
+// account Cloud built from it.
+func NewShared(book *pricing.PriceBook, params *netsim.Params) (*Shared, error) {
+	if book == nil {
+		book = pricing.Default2017()
+	}
+	p := netsim.DefaultParams()
+	if params != nil {
+		p = *params
+	}
+	att, err := attest.NewPlatform()
+	if err != nil {
+		return nil, fmt.Errorf("core: building shared platform state: %w", err)
+	}
+	return &Shared{Book: book, Params: p, Attest: att}, nil
+}
+
 // CloudOptions configures NewCloud.
 type CloudOptions struct {
 	// Name identifies the provider (default "aws-sim").
@@ -81,6 +119,19 @@ type CloudOptions struct {
 	// with respect to the economy; TestLogsPreserveLedger flips this to
 	// prove a logged run is bit-identical to an unlogged one.
 	DisableLogging bool
+	// Clock injects the cloud's virtual timeline. The fleet engine hands
+	// each account the clock of a shard-local event queue
+	// (clock.Timeline) so one drain loop drives many accounts; nil keeps
+	// the historical behaviour of a fresh virtual clock at Epoch.
+	Clock *clock.Virtual
+	// Shared supplies the immutable cross-account state (price book,
+	// base netsim params, attestation platform) so per-account
+	// construction stays cheap. Nil builds a private bundle from the
+	// Book/NetParams fields, preserving single-account behaviour
+	// bit-for-bit. Book and NetParams, when set, still win over the
+	// bundle's values — the fleet uses that to re-seed the latency
+	// model per account.
+	Shared *Shared
 	// SelfTelemetry lets the telemetry plane record its own counters
 	// (samples batched, events ingested, bytes, flushes, interceptor
 	// overhead) as telemetry.* metric series via
@@ -98,19 +149,31 @@ func NewCloud(opts CloudOptions) (*Cloud, error) {
 	if opts.Region == "" {
 		opts.Region = "us-west-2"
 	}
-	params := netsim.DefaultParams()
+	shared := opts.Shared
+	if shared == nil {
+		s, err := NewShared(opts.Book, opts.NetParams)
+		if err != nil {
+			return nil, fmt.Errorf("core: building cloud %q: %w", opts.Name, err)
+		}
+		shared = s
+	}
+	params := shared.Params
 	if opts.NetParams != nil {
 		params = *opts.NetParams
 	}
 	book := opts.Book
 	if book == nil {
-		book = pricing.Default2017()
+		book = shared.Book
+	}
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.NewVirtual()
 	}
 
 	c := &Cloud{
 		Name:   opts.Name,
 		Region: opts.Region,
-		Clock:  clock.NewVirtual(),
+		Clock:  clk,
 		Model:  netsim.NewModel(params),
 		Meter:  pricing.NewMeter(),
 		Book:   book,
@@ -159,12 +222,7 @@ func NewCloud(opts CloudOptions) (*Cloud, error) {
 		c.Logs.FlushBatches()
 	})
 	c.selfTelemetry = opts.SelfTelemetry
-
-	att, err := attest.NewPlatform()
-	if err != nil {
-		return nil, fmt.Errorf("core: building cloud %q: %w", opts.Name, err)
-	}
-	c.Attest = att
+	c.Attest = shared.Attest
 	return c, nil
 }
 

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLedgerParityFleet pins the 1,000-account fleet bit-for-bit: the
+// rendered summary, every per-account stat line, and the raw
+// nanosecond/nanodollar fingerprint. check.sh runs this golden under
+// GOMAXPROCS=1 and GOMAXPROCS=NumCPU — both must match the same file,
+// which is the enforced form of the "worker count never changes a
+// byte" contract.
+func TestLedgerParityFleet(t *testing.T) {
+	rep, err := RunFleet(DefaultFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString(rep.Render())
+	sb.WriteString(rep.RawFingerprint())
+	sb.WriteString(rep.RenderAccounts())
+	checkGolden(t, "ledger_fleet.golden", sb.String())
+}

@@ -1,0 +1,342 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/apps/chat"
+	"repro/internal/apps/email"
+	"repro/internal/apps/filetransfer"
+	"repro/internal/apps/iot"
+	"repro/internal/cloudsim/clock"
+	"repro/internal/core"
+	"repro/internal/pricing"
+	"repro/internal/workload"
+)
+
+// operator is every account's user name. The DIY operator *is* the
+// account; a constant name keeps resource names (buckets, functions,
+// queues) — and so ledgers — a function of the workload alone, which is
+// what makes "two identically-seeded accounts produce bit-identical
+// ledgers" a meaningful isolation property.
+const operator = "op"
+
+// accountSim drives one account's deployment through its simulated
+// span as a chain of timeline events: each arrival serves a request
+// and schedules the next. Its mutable fields are written only under mu
+// (or from *Locked methods whose callers hold it): the struct is
+// shard-private today, but the scheduler's workers are exactly the
+// concurrency seam the shardsafe analyzer guards, and the lock keeps
+// that guarantee mechanical rather than situational.
+type accountSim struct {
+	mu      sync.Mutex
+	cfg     *Config
+	profile workload.AccountProfile
+
+	tl    *clock.Timeline
+	cloud *core.Cloud
+	dep   *core.Deployment
+	end   time.Time
+
+	arrivals *workload.Poisson
+	payload  *rand.Rand
+	lastAt   time.Time
+
+	// chat peers (KindChat only).
+	owner, peer *chat.Client
+
+	stats     AccountStats
+	latencies []time.Duration
+	samples   []reqSample
+	err       error
+}
+
+// simulateAccount builds one account's private world — timeline, cloud
+// wired from the shared immutable bundle, deployment — replays its
+// span, and returns the outcome.
+func simulateAccount(cfg *Config, shared *core.Shared, profile workload.AccountProfile) accountOutcome {
+	a, err := newAccountSim(cfg, shared, profile)
+	if err != nil {
+		return accountOutcome{err: fmt.Errorf("account %06d (%v): %w", profile.Index, profile.Kind, err)}
+	}
+	a.scheduleNext()
+	a.tl.RunUntil(a.end)
+	return a.outcome()
+}
+
+// newAccountSim wires the account: an injected shard-local timeline,
+// per-account netsim/arrival/payload streams derived from the
+// account's seed partition, and the app installation + warmup.
+func newAccountSim(cfg *Config, shared *core.Shared, profile workload.AccountProfile) (*accountSim, error) {
+	tl := clock.NewTimeline()
+	params := shared.Params
+	params.Seed = workload.Substream(profile.Seed, "netsim")
+	cloud, err := core.NewCloud(core.CloudOptions{
+		Name:                 fmt.Sprintf("fleet-%06d", profile.Index),
+		Shared:               shared,
+		Clock:                tl.Clock(),
+		NetParams:            &params,
+		DisableObservability: true,
+		DisableLogging:       true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := &accountSim{
+		cfg:     cfg,
+		profile: profile,
+		tl:      tl,
+		cloud:   cloud,
+		end:     clock.Epoch.Add(cfg.Span),
+		payload: rand.New(rand.NewSource(workload.Substream(profile.Seed, "payload"))),
+	}
+
+	switch profile.Kind {
+	case workload.KindChat:
+		d, err := chat.Install(cloud, operator, chat.App{
+			Members:  []string{"owner", "peer"},
+			MemoryMB: 448,
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.dep = d
+		a.owner = chat.NewClient(d, "owner", "laptop")
+		a.peer = chat.NewClient(d, "peer", "phone")
+		if _, err := a.owner.Session(); err != nil {
+			return nil, err
+		}
+		if _, err := a.peer.Session(); err != nil {
+			return nil, err
+		}
+	case workload.KindEmail:
+		d, err := core.Install(cloud, operator, email.App{})
+		if err != nil {
+			return nil, err
+		}
+		a.dep = d
+	case workload.KindFiledrop:
+		d, err := core.Install(cloud, operator, filetransfer.App{})
+		if err != nil {
+			return nil, err
+		}
+		a.dep = d
+	case workload.KindIoT:
+		d, err := core.Install(cloud, operator, iot.App{
+			AlertRules: map[string]float64{"temperature_c": 60},
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.dep = d
+		dev, _ := json.Marshal(iot.Device{Name: "sensor", Kind: "thermo"})
+		if err := a.invokeOK("register", dev); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown app kind %d", profile.Kind)
+	}
+
+	// The warmup above (installs, sessions, device registration) ran at
+	// Epoch; the first arrival's inter-request gap measures from here.
+	a.lastAt = cloud.Clock.Now()
+	a.arrivals = workload.NewPoisson(
+		workload.Substream(profile.Seed, "arrivals"),
+		profile.RequestsPerDay,
+		a.lastAt,
+	)
+	return a, nil
+}
+
+// invokeOK sends one op and verifies the app accepted it.
+func (a *accountSim) invokeOK(op string, body []byte) error {
+	ctx := a.dep.ClientContext()
+	resp, _, err := a.dep.Invoke(ctx, op, body)
+	if err != nil {
+		return err
+	}
+	if resp.Status != 200 {
+		return fmt.Errorf("op %s: status %d: %s", op, resp.Status, resp.Body)
+	}
+	return nil
+}
+
+// scheduleNext queues the next arrival, if it falls inside the span.
+func (a *accountSim) scheduleNext() {
+	next := a.arrivals.Next()
+	if next.Before(a.end) {
+		a.tl.Schedule(next, a.step)
+	}
+}
+
+// step is one timeline event: serve the arrival, then schedule the
+// next one. Errors latch and stop the chain.
+func (a *accountSim) step(now time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.err != nil {
+		return
+	}
+	if err := a.requestLocked(now); err != nil {
+		a.err = err
+		return
+	}
+	a.scheduleNext()
+}
+
+// requestLocked serves one workload arrival for the account's app
+// kind. Caller holds a.mu.
+func (a *accountSim) requestLocked(now time.Time) error {
+	gap := now.Sub(a.lastAt)
+	a.lastAt = now
+	switch a.profile.Kind {
+	case workload.KindChat:
+		return a.chatRequestLocked(now, gap)
+	case workload.KindEmail:
+		return a.emailRequestLocked(now, gap)
+	case workload.KindFiledrop:
+		return a.filedropRequestLocked(now, gap)
+	default:
+		return a.iotRequestLocked(now, gap)
+	}
+}
+
+// chatRequestLocked is the Table 3 flow at fleet scale: owner sends,
+// peer's outstanding long poll delivers, E2E latency runs from send
+// initiation to decrypted delivery.
+func (a *accountSim) chatRequestLocked(now time.Time, gap time.Duration) error {
+	stats, _, err := a.owner.SendTimed(a.bodyLocked())
+	if err != nil {
+		return fmt.Errorf("chat send %d: %w", a.stats.Requests, err)
+	}
+	pollCtx := a.peer.PollContext(now)
+	msgs, err := a.peer.Receive(pollCtx, 20*time.Second)
+	if err != nil {
+		return fmt.Errorf("chat receive %d: %w", a.stats.Requests, err)
+	}
+	if len(msgs) != 1 {
+		return fmt.Errorf("chat receive %d: got %d messages, want 1", a.stats.Requests, len(msgs))
+	}
+	a.recordLocked(gap, stats.ColdStart, pollCtx.Cursor.Now().Sub(now))
+	return nil
+}
+
+// emailRequestLocked delivers one inbound message through the SES
+// trigger. Deliver does not surface InvocationStats, so cold starts
+// come from the function's platform counters.
+func (a *accountSim) emailRequestLocked(now time.Time, gap time.Duration) error {
+	raw := fmt.Sprintf("From: friend@example.org\r\nSubject: note %d\r\n\r\n%s",
+		a.stats.Requests, a.bodyLocked())
+	_, coldBefore := a.cloud.Lambda.Stats(a.dep.FnName)
+	ctx := a.dep.ClientContext()
+	if err := a.cloud.SES.Deliver(ctx, "friend@example.org", operator+"@"+email.MailDomain, []byte(raw)); err != nil {
+		return fmt.Errorf("email inbound %d: %w", a.stats.Requests, err)
+	}
+	_, coldAfter := a.cloud.Lambda.Stats(a.dep.FnName)
+	a.recordLocked(gap, coldAfter > coldBefore, ctx.Cursor.Now().Sub(now))
+	return nil
+}
+
+// filedropRequestLocked uploads one file and verifies the offer was
+// accepted.
+func (a *accountSim) filedropRequestLocked(now time.Time, gap time.Duration) error {
+	req, err := json.Marshal(filetransfer.UploadRequest{
+		Name: fmt.Sprintf("drop-%06d", a.stats.Requests),
+		To:   "peer",
+		Data: []byte(a.bodyLocked()),
+	})
+	if err != nil {
+		return err
+	}
+	ctx := a.dep.ClientContext()
+	resp, stats, err := a.dep.Invoke(ctx, "upload", req)
+	if err != nil {
+		return fmt.Errorf("filedrop upload %d: %w", a.stats.Requests, err)
+	}
+	if resp.Status != 200 {
+		return fmt.Errorf("filedrop upload %d: status %d: %s", a.stats.Requests, resp.Status, resp.Body)
+	}
+	a.recordLocked(gap, stats.ColdStart, ctx.Cursor.Now().Sub(now))
+	return nil
+}
+
+// iotRequestLocked alternates device telemetry reports with an
+// occasional dashboard read — the §6.1 controller workload.
+func (a *accountSim) iotRequestLocked(now time.Time, gap time.Duration) error {
+	op, body := "report", []byte(nil)
+	if a.stats.Requests%12 == 11 {
+		op = "dashboard"
+	} else {
+		b, err := json.Marshal(iot.Report{
+			Device:  "sensor",
+			Metrics: map[string]float64{"temperature_c": 20 + 30*a.payload.Float64()},
+		})
+		if err != nil {
+			return err
+		}
+		body = b
+	}
+	ctx := a.dep.ClientContext()
+	resp, stats, err := a.dep.Invoke(ctx, op, body)
+	if err != nil {
+		return fmt.Errorf("iot %s %d: %w", op, a.stats.Requests, err)
+	}
+	if resp.Status != 200 {
+		return fmt.Errorf("iot %s %d: status %d: %s", op, a.stats.Requests, resp.Status, resp.Body)
+	}
+	a.recordLocked(gap, stats.ColdStart, ctx.Cursor.Now().Sub(now))
+	return nil
+}
+
+// bodyLocked draws a payload whose length varies around the profile's
+// mean from the account's payload stream. Caller holds a.mu.
+func (a *accountSim) bodyLocked() string {
+	n := a.profile.BodyBytes/2 + a.payload.Intn(a.profile.BodyBytes)
+	return strings.Repeat("x", n)
+}
+
+// recordLocked books one served request. Caller holds a.mu.
+func (a *accountSim) recordLocked(gap time.Duration, cold bool, latency time.Duration) {
+	a.stats.Requests++
+	if cold {
+		a.stats.ColdStarts++
+	}
+	a.latencies = append(a.latencies, latency)
+	a.samples = append(a.samples, reqSample{gap: gap, cold: cold})
+}
+
+// outcome prices the account's span at list price, extrapolates to the
+// month, and packages the raw result.
+func (a *accountSim) outcome() accountOutcome {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.err != nil {
+		return accountOutcome{err: fmt.Errorf("account %06d (%v): %w", a.profile.Index, a.profile.Kind, a.err)}
+	}
+	var span pricing.Money
+	for _, u := range a.cloud.Meter.Snapshot() {
+		span += a.cfg.Book.ListPrice(u)
+	}
+	a.stats.Index = a.profile.Index
+	a.stats.Kind = a.profile.Kind
+	a.stats.MonthlyCost = span.MulFloat(float64(month) / float64(a.cfg.Span))
+	if a.cfg.CaptureLedgers {
+		a.stats.Ledger = renderLedger(a.cloud.Meter)
+	}
+	return accountOutcome{stats: a.stats, latencies: a.latencies, samples: a.samples}
+}
+
+// renderLedger formats a meter snapshot as one line per usage
+// dimension — the bit-identical comparison form the isolation and
+// parity tests diff.
+func renderLedger(m *pricing.Meter) string {
+	var sb strings.Builder
+	for _, u := range m.Snapshot() {
+		fmt.Fprintf(&sb, "%s\t%s\t%s\t%.9f\n", u.Kind, u.Resource, u.App, u.Quantity)
+	}
+	return sb.String()
+}

@@ -1,0 +1,33 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkFleet measures fleet simulation throughput end to end —
+// profile partitioning, per-account cloud construction off the shared
+// bundle, timeline replay, and ordered aggregation — at two fleet
+// sizes. Beyond ns/op it reports accounts/sec (how fast the engine
+// chews through accounts) and ns/request (amortized cost of one
+// simulated workload arrival), both gated in BENCH_cloudsim.json.
+func BenchmarkFleet(b *testing.B) {
+	for _, accounts := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("accounts=%d", accounts), func(b *testing.B) {
+			cfg := Config{Accounts: accounts, Span: 10 * time.Minute}
+			requests := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				requests = res.TotalRequests
+			}
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(float64(accounts)/(perOp/1e9), "accounts/sec")
+			b.ReportMetric(perOp/float64(requests), "ns/request")
+		})
+	}
+}

@@ -1,0 +1,267 @@
+// Package fleet scales the single-account simulator to the paper's
+// premise: millions of people, each running their own DIY serverless
+// deployment. It is a discrete-event engine driving N independent
+// accounts — each with its own Cloud, meter, virtual timeline, and
+// partitioned PRNG streams — hash-partitioned into a fixed number of
+// logical shards that run on however many worker goroutines the host
+// offers.
+//
+// The determinism contract: a fleet run is a pure function of
+// (Accounts, MaxSimulated, Seed, Span, Shards) and replays
+// bit-identically regardless of Workers or GOMAXPROCS. Accounts never
+// interact, per-account results land in a slice slot owned by exactly
+// one account, and every cross-account aggregate is either
+// order-insensitive or merged in account-index order after the workers
+// join. Fleets larger than MaxSimulated are sampled by a deterministic
+// stride and extrapolated — and the scaling is always reported, never
+// silent.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pricing"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a fleet run. The zero value is usable: a
+// 1,000-account fleet over 30 simulated minutes.
+type Config struct {
+	// Accounts is the fleet size the run models (default 1,000). Sizes
+	// above MaxSimulated are sampled, with the scaling reported in
+	// Result.ScalingNote.
+	Accounts int
+	// MaxSimulated caps the number of accounts actually simulated
+	// (default 10,000).
+	MaxSimulated int
+	// Seed is the fleet master seed every per-account stream partition
+	// derives from (default 1).
+	Seed int64
+	// Span is each account's simulated activity window, starting at
+	// clock.Epoch (default 30 minutes).
+	Span time.Duration
+	// Shards is the number of logical shards accounts hash-partition
+	// into (default 64). It is part of the replay identity — results
+	// are independent of Workers, not of Shards.
+	Shards int
+	// Workers is the number of worker goroutines draining shards
+	// (default GOMAXPROCS). It never affects results.
+	Workers int
+	// Book overrides the price book (Default2017 if nil).
+	Book *pricing.PriceBook
+	// CaptureLedgers keeps each simulated account's full metered
+	// ledger on its AccountStats — parity tests use it; large fleets
+	// should leave it off.
+	CaptureLedgers bool
+	// Profile overrides the account-profile distribution (tests use it
+	// to pin identical seeds on two accounts). Nil means
+	// workload.Profile.
+	Profile func(base int64, index int) workload.AccountProfile
+}
+
+// AccountStats is one simulated account's outcome.
+type AccountStats struct {
+	// Index is the account's fleet position.
+	Index int
+	// Kind is the app the account ran.
+	Kind workload.AppKind
+	// Requests is the number of workload arrivals served in the span.
+	Requests int
+	// ColdStarts counts requests that hit a cold Lambda container.
+	ColdStarts int
+	// MonthlyCost is the span's metered usage priced at list price (no
+	// free tier — the marginal-cost view) and extrapolated to the
+	// 30-day month.
+	MonthlyCost pricing.Money
+	// Ledger is the account's full metered ledger; "" unless
+	// Config.CaptureLedgers.
+	Ledger string
+}
+
+// GapBucket aggregates cold-start behaviour over one inter-request-gap
+// band — the fleet extension of Figure 1's cold-start story, with the
+// Lambda warm-container TTL as the knee.
+type GapBucket struct {
+	// Label names the band, e.g. "2m-5m".
+	Label string
+	// UpTo is the band's exclusive upper bound (0 for the open tail).
+	UpTo time.Duration
+	// Requests and ColdStarts count simulated requests whose gap since
+	// the account's previous request fell in the band.
+	Requests   int
+	ColdStarts int
+}
+
+// Result is a fleet run's aggregate outcome. Everything here is
+// bit-identical across replays at any worker count.
+type Result struct {
+	// Accounts echoes the modelled fleet size; Simulated is how many
+	// accounts actually ran (less than Accounts when sampled).
+	Accounts  int
+	Simulated int
+	// ScaleFactor is Accounts/Simulated, the extrapolation multiplier
+	// for fleet-wide totals.
+	ScaleFactor float64
+	// ScalingNote is non-empty whenever Simulated < Accounts: sampling
+	// is always reported, never silent.
+	ScalingNote string
+	// Seed, Span, Shards echo the replay identity.
+	Seed   int64
+	Span   time.Duration
+	Shards int
+
+	// PerAccount holds each simulated account's outcome in account
+	// order.
+	PerAccount []AccountStats
+	// Latencies is every simulated request's end-to-end latency,
+	// merged in account order (unsorted).
+	Latencies []time.Duration
+	// GapBuckets is the cold-start-fraction-vs-inter-request-gap
+	// histogram over all simulated requests.
+	GapBuckets []GapBucket
+	// MixCounts counts simulated accounts by app kind.
+	MixCounts [workload.NumKinds]int
+	// TotalRequests and TotalColdStarts sum over simulated accounts
+	// (multiply by ScaleFactor for the modelled fleet).
+	TotalRequests   int
+	TotalColdStarts int
+}
+
+// month is the simulator's billing month (matching pricing's 30-day
+// convention), used to extrapolate span usage to a monthly bill.
+const month = 30 * 24 * time.Hour
+
+// gapBounds are the inter-request-gap band edges. The 5-minute edge is
+// the Lambda warm-container TTL: the curve's knee.
+var gapBounds = []time.Duration{
+	time.Minute,
+	2 * time.Minute,
+	5 * time.Minute,
+	10 * time.Minute,
+	30 * time.Minute,
+}
+
+// newGapBuckets builds the empty histogram.
+func newGapBuckets() []GapBucket {
+	out := make([]GapBucket, 0, len(gapBounds)+1)
+	prev := time.Duration(0)
+	for _, b := range gapBounds {
+		out = append(out, GapBucket{Label: fmt.Sprintf("%v-%v", prev, b), UpTo: b})
+		prev = b
+	}
+	out[0].Label = fmt.Sprintf("<%v", gapBounds[0])
+	out = append(out, GapBucket{Label: fmt.Sprintf(">%v", prev), UpTo: 0})
+	return out
+}
+
+// bucketFor returns the histogram index for a gap.
+func bucketFor(gap time.Duration) int {
+	for i, b := range gapBounds {
+		if gap < b {
+			return i
+		}
+	}
+	return len(gapBounds)
+}
+
+// Run executes the fleet and aggregates its results deterministically.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Accounts <= 0 {
+		cfg.Accounts = 1000
+	}
+	if cfg.MaxSimulated <= 0 {
+		cfg.MaxSimulated = 10000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Span <= 0 {
+		cfg.Span = 30 * time.Minute
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 64
+	}
+	if cfg.Book == nil {
+		cfg.Book = pricing.Default2017()
+	}
+	profileFn := cfg.Profile
+	if profileFn == nil {
+		profileFn = workload.Profile
+	}
+
+	// Sample oversized fleets by a deterministic stride over account
+	// indices, so the sampled sub-fleet of a given size is always the
+	// same set of accounts.
+	stride := 1
+	if cfg.Accounts > cfg.MaxSimulated {
+		stride = int(math.Ceil(float64(cfg.Accounts) / float64(cfg.MaxSimulated)))
+	}
+	var profiles []workload.AccountProfile
+	for i := 0; i < cfg.Accounts; i += stride {
+		profiles = append(profiles, profileFn(cfg.Seed, i))
+	}
+
+	res := &Result{
+		Accounts:    cfg.Accounts,
+		Simulated:   len(profiles),
+		ScaleFactor: float64(cfg.Accounts) / float64(len(profiles)),
+		Seed:        cfg.Seed,
+		Span:        cfg.Span,
+		Shards:      cfg.Shards,
+		GapBuckets:  newGapBuckets(),
+	}
+	if stride > 1 {
+		res.ScalingNote = fmt.Sprintf(
+			"sampled: simulating %d of %d accounts (every %dth); fleet totals extrapolate ×%.1f",
+			res.Simulated, cfg.Accounts, stride, res.ScaleFactor)
+	}
+
+	// The immutable cross-account state: one price book, one base
+	// latency model, one attestation keypair for the whole fleet.
+	shared, err := core.NewShared(cfg.Book, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+
+	outcomes := runShards(&cfg, shared, profiles)
+
+	// Aggregation: strictly in account-index order, after the barrier.
+	// Errors resolve deterministically to the lowest-indexed failure.
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, fmt.Errorf("fleet: %w", o.err)
+		}
+		res.PerAccount = append(res.PerAccount, o.stats)
+		res.Latencies = append(res.Latencies, o.latencies...)
+		res.MixCounts[o.stats.Kind]++
+		res.TotalRequests += o.stats.Requests
+		res.TotalColdStarts += o.stats.ColdStarts
+		for _, s := range o.samples {
+			b := bucketFor(s.gap)
+			res.GapBuckets[b].Requests++
+			if s.cold {
+				res.GapBuckets[b].ColdStarts++
+			}
+		}
+	}
+	return res, nil
+}
+
+// CostPercentile reports the p-th percentile (nearest-rank) of the
+// per-account monthly cost distribution.
+func (r *Result) CostPercentile(p float64) pricing.Money {
+	costs := make([]pricing.Money, 0, len(r.PerAccount))
+	for _, a := range r.PerAccount {
+		costs = append(costs, a.MonthlyCost)
+	}
+	return moneyPercentile(costs, p)
+}
+
+// LatencyPercentile reports the p-th percentile (nearest-rank) of the
+// fleet-wide request latency distribution.
+func (r *Result) LatencyPercentile(p float64) time.Duration {
+	return durationPercentile(r.Latencies, p)
+}

@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// The scheduler is where the determinism contract is enforced
+// mechanically. Accounts hash-partition into Config.Shards logical
+// shards — a pure function of (Seed, account index, Shards), never of
+// worker count. Workers pull whole shards off a channel and simulate
+// that shard's accounts sequentially in index order. Because the shard
+// assignment is fixed and each account writes only its own slot of the
+// pre-sized outcome slice, the slice contents after the join are
+// identical no matter which worker ran which shard, or in what order —
+// worker count and goroutine scheduling can change only wall-clock
+// time, never a byte of output.
+
+// accountOutcome is one account's raw simulation product, deposited in
+// the outcome slot owned by that account.
+type accountOutcome struct {
+	stats     AccountStats
+	latencies []time.Duration
+	samples   []reqSample
+	err       error
+}
+
+// reqSample pairs one request's inter-request gap with whether it hit
+// a cold container, feeding the gap-bucket histogram.
+type reqSample struct {
+	gap  time.Duration
+	cold bool
+}
+
+// shardOf assigns an account index to a logical shard: splitmix-mixed
+// so adjacent indices spread across shards, seeded so distinct fleets
+// partition differently, and independent of worker count by
+// construction.
+func shardOf(seed int64, index, shards int) int {
+	root := uint64(workload.AccountSeed(seed, index))
+	return int(root % uint64(shards))
+}
+
+// workers resolves the worker-goroutine count.
+func workers(cfg *Config) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runShards simulates every profile and returns the outcomes in
+// profile (account-index) order.
+func runShards(cfg *Config, shared *core.Shared, profiles []workload.AccountProfile) []accountOutcome {
+	// Group profile positions by shard, preserving index order within
+	// each shard.
+	shards := make([][]int, cfg.Shards)
+	for pos, p := range profiles {
+		s := shardOf(cfg.Seed, p.Index, cfg.Shards)
+		shards[s] = append(shards[s], pos)
+	}
+
+	out := make([]accountOutcome, len(profiles))
+	jobs := make(chan []int)
+	var wg sync.WaitGroup
+	for w := workers(cfg); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for shard := range jobs {
+				for _, pos := range shard {
+					out[pos] = simulateAccount(cfg, shared, profiles[pos])
+				}
+			}
+		}()
+	}
+	for _, shard := range shards {
+		if len(shard) > 0 {
+			jobs <- shard
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,41 @@
+package fleet
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/pricing"
+)
+
+// Nearest-rank percentiles over copies, so aggregation inputs (which
+// are merged in account order and must stay replay-stable) are never
+// reordered in place. p is in percent and may be fractional (99.9).
+
+func moneyPercentile(samples []pricing.Money, p float64) pricing.Money {
+	if len(samples) == 0 {
+		return 0
+	}
+	cp := append([]pricing.Money(nil), samples...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return cp[rankIndex(len(cp), p)]
+}
+
+func durationPercentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	cp := append([]time.Duration(nil), samples...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return cp[rankIndex(len(cp), p)]
+}
+
+func rankIndex(n int, p float64) int {
+	idx := int(float64(n) * p / 100)
+	if idx >= n {
+		idx = n - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
-# bench.sh — snapshot the cloudsim hot-path and diylint benchmarks into
-# BENCH_cloudsim.json so interceptor-chain, window-lookup, log
-# ingestion, Insights-scan, and analyzer-suite regressions show up as a diff.
+# bench.sh — snapshot the cloudsim hot-path, diylint, and fleet
+# benchmarks into BENCH_cloudsim.json so interceptor-chain,
+# window-lookup, log ingestion, Insights-scan, analyzer-suite, and
+# fleet-throughput regressions show up as a diff.
 # `make bench` runs this.
 set -eu
 cd "$(dirname "$0")/.."
@@ -13,12 +14,32 @@ trap 'rm -f "$RAW"' EXIT
 go test -run '^$' -bench 'BenchmarkDoInterceptors|BenchmarkWindowNarrow|BenchmarkLogsIngest|BenchmarkInsightsScan|BenchmarkDiylint' -benchmem \
 	./internal/cloudsim/plane ./internal/cloudsim/metrics ./internal/cloudsim/logs ./internal/analysis | tee "$RAW"
 
+# Fleet runs take hundreds of ms to seconds each; one timed iteration
+# is plenty of signal and keeps `make bench` fast.
+go test -run '^$' -bench 'BenchmarkFleet' -benchmem -benchtime 1x \
+	./internal/fleet | tee -a "$RAW"
+
+# Benchmarks that b.ReportMetric extra columns (accounts/sec,
+# ns/request) shift the field positions, so scan value/unit pairs
+# instead of assuming fixed columns.
 awk '
 BEGIN { print "[" }
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
-	printf "%s  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $2, $3, $5, $7
+	ns = "0"; by = "0"; al = "0"; acc = ""; req = ""
+	for (i = 3; i < NF; i += 2) {
+		v = $i; u = $(i + 1)
+		if (u == "ns/op") ns = v
+		else if (u == "B/op") by = v
+		else if (u == "allocs/op") al = v
+		else if (u == "accounts/sec") acc = v
+		else if (u == "ns/request") req = v
+	}
+	extra = ""
+	if (acc != "") extra = extra ", \"accounts_per_sec\": " acc
+	if (req != "") extra = extra ", \"ns_per_request\": " req
+	printf "%s  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}", sep, name, $2, ns, by, al, extra
 	sep = ",\n"
 }
 END { print "\n]" }

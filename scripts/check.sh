@@ -37,7 +37,20 @@ if ! [ -s "$LOG1" ]; then
 fi
 diff "$LOG1" "$LOG2"
 
-echo ">> go test -race ./..."
+echo ">> fleet determinism (1,000-account golden at GOMAXPROCS=1 and NumCPU)"
+GOMAXPROCS=1 go test ./internal/experiments -run TestLedgerParityFleet -count=1
+go test ./internal/experiments -run TestLedgerParityFleet -count=1
+
+echo ">> fleet double-run (rendered report diffed across worker counts)"
+GOMAXPROCS=1 go run ./cmd/diyctl fleet -accounts 300 -span 15m >"$LOG1"
+go run ./cmd/diyctl fleet -accounts 300 -span 15m >"$LOG2"
+if ! [ -s "$LOG1" ]; then
+	echo "check: fleet run produced no report" >&2
+	exit 1
+fi
+diff "$LOG1" "$LOG2"
+
+echo ">> go test -race ./... (includes the fleet scheduler under the race detector)"
 go test -race ./...
 
 echo "check: all green"
