@@ -68,7 +68,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: diyctl <demo|store|attest|stream|trace|metrics|logs|tcb|bill|fleet>")
-	fmt.Fprintln(os.Stderr, "       diyctl fleet [-accounts N] [-span D] [-seed S] [-max-simulated N] [-workers N]")
+	fmt.Fprintln(os.Stderr, "       diyctl fleet [-accounts N] [-span D] [-seed S] [-max-simulated N] [-workers N] [-telemetry] [-top N] [-watch] [-cpuprofile F] [-memprofile F]")
 }
 
 // demo runs the end-to-end scenario: deploy chat and email for a user,

@@ -49,6 +49,8 @@ var fixtureDirs = []string{
 	"internal/cloudsim/shardgood",
 	"internal/fleet/shardfleetbad",
 	"internal/fleet/shardfleetgood",
+	"internal/fleet/towerbad",
+	"internal/fleet/towergood",
 	"moneybad",
 	"moneygood",
 	"graphfix",
@@ -109,6 +111,9 @@ var goldenCases = []struct {
 	// worker goroutines as reachability roots. A distinct golden name
 	// keeps it from colliding with the cloudsim shardsafe golden.
 	{ShardSafe, "internal/fleet/shardfleetbad", "internal/fleet/shardfleetgood", "shardfleet"},
+	// hotpath again over the fleet control tower's publish seam: the
+	// telemetry Observe hooks as reachability roots.
+	{HotPath, "internal/fleet/towerbad", "internal/fleet/towergood", "hotpathfleet"},
 }
 
 // TestGolden runs each analyzer over its positive and negative fixture

@@ -3,20 +3,30 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
-// HotPath guards the telemetry interceptors' per-call cost: the
+// HotPath guards the telemetry publish paths' per-call cost: the
 // benchmark budget (BENCH_cloudsim.json) only holds if publication
-// stays on the interned/batched fast path, so the body of any
-// PlaneInterceptor — and every same-package function it can reach —
-// must not format strings with fmt.Sprint* or allocate a map composite
-// literal per call. Names and handles are interned once at
+// stays on the interned/batched fast path. Two seams are rooted:
+//
+//   - In internal/cloudsim scopes, the body of any PlaneInterceptor —
+//     and every same-package function it can reach — runs per
+//     published call.
+//   - In internal/fleet scopes, the control tower's Observe* hooks —
+//     and every same-package function they can reach — run per
+//     completed account (with its whole CloudWatch series reduction)
+//     or per drained shard, inside the worker goroutines the fleet
+//     benchmark times.
+//
+// Neither may format strings with fmt.Sprint* or allocate a map
+// composite literal per call. Names and handles are interned once at
 // construction or first sight; `make(map...)` for those interning
 // tables is fine, it is the per-call formatting and literal maps that
 // regress the hot path.
 var HotPath = &Analyzer{
 	Name: "hotpath",
-	Doc:  "PlaneInterceptor bodies and their same-package callees must not call fmt.Sprint* or build map literals; intern names and handles instead",
+	Doc:  "PlaneInterceptor bodies, fleet-telemetry Observe hooks, and their same-package callees must not call fmt.Sprint* or build map literals; intern names and handles instead",
 	Run:  runHotPath,
 }
 
@@ -28,13 +38,23 @@ var sprintFuncs = map[string]bool{
 }
 
 func runHotPath(p *Pass) {
-	if !pathWithin(p.Pkg.Path, "internal/cloudsim") {
+	// Each scope names its seam (for the diagnostic) and its root set.
+	var seam string
+	var isRoot func(*Node) bool
+	switch {
+	case pathWithin(p.Pkg.Path, "internal/cloudsim"):
+		seam = "PlaneInterceptor"
+		isRoot = func(n *Node) bool { return n.Fn != nil && n.Fn.Name() == "PlaneInterceptor" }
+	case pathWithin(p.Pkg.Path, "internal/fleet"):
+		seam = "a fleet-telemetry Observe hook"
+		isRoot = func(n *Node) bool { return n.Fn != nil && strings.HasPrefix(n.Fn.Name(), "Observe") }
+	default:
 		return
 	}
 
 	var roots []*Node
 	for _, n := range p.Facts.Graph.PkgNodes(p.Pkg) {
-		if n.Fn != nil && n.Fn.Name() == "PlaneInterceptor" {
+		if isRoot(n) {
 			roots = append(roots, n)
 		}
 	}
@@ -42,12 +62,11 @@ func runHotPath(p *Pass) {
 		return
 	}
 
-	// Forward reachability from each PlaneInterceptor through
-	// same-package calls: anything the interceptor can reach runs (or
-	// can run) per published call. Closures are their own substrate
-	// nodes but display under the declaring function's name, so a
-	// violation inside the interceptor closure still reads "via
-	// PlaneInterceptor".
+	// Forward reachability from each root through same-package calls:
+	// anything a root can reach runs (or can run) per published call.
+	// Closures are their own substrate nodes but display under the
+	// declaring function's name, so a violation inside a root's closure
+	// still reads "via <root>".
 	hot := p.Facts.Graph.Reachable(roots, SamePackage)
 
 	for _, n := range p.Facts.Graph.PkgNodes(p.Pkg) {
@@ -61,8 +80,8 @@ func runHotPath(p *Pass) {
 			}
 			if callee.Pkg().Path() == "fmt" && sprintFuncs[callee.Name()] {
 				p.Reportf(cs.Call.Pos(),
-					"fmt.%s formats a string on the telemetry hot path (reachable from PlaneInterceptor via %s); intern names/handles at construction or append into a reused buffer instead",
-					callee.Name(), n.Name())
+					"fmt.%s formats a string on the telemetry hot path (reachable from %s via %s); intern names/handles at construction or append into a reused buffer instead",
+					callee.Name(), seam, n.Name())
 			}
 		}
 		// Map composite literals, in this node's own body only — nested
@@ -78,8 +97,8 @@ func runHotPath(p *Pass) {
 			}
 			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
 				p.Reportf(cl.Pos(),
-					"map composite literal allocates on the telemetry hot path (reachable from PlaneInterceptor via %s); intern names/handles at construction or append into a reused buffer instead",
-					n.Name())
+					"map composite literal allocates on the telemetry hot path (reachable from %s via %s); intern names/handles at construction or append into a reused buffer instead",
+					seam, n.Name())
 			}
 		})
 	}

@@ -130,12 +130,15 @@ type Facts struct {
 	// ReachHandler marks nodes reachable from a service handler passed
 	// to plane.Do: the per-call state-mutating stage.
 	ReachHandler map[*Node]bool
-	// ReachFleet marks nodes reachable (same-package) from a goroutine
-	// body spawned inside internal/fleet: the shard workers that run
-	// account simulations concurrently on every core. The filter stays
-	// same-package because cross-package callees (the simulator, the
-	// apps) operate on shard-private per-account state by construction;
-	// the seam risk is fleet-package bookkeeping shared across workers.
+	// ReachFleet marks nodes reachable (within the fleet scope) from a
+	// goroutine body spawned inside internal/fleet: the shard workers
+	// that run account simulations concurrently on every core. The
+	// filter admits any edge whose target lives under internal/fleet —
+	// same-package bookkeeping plus the fleet/telemetry control tower
+	// the workers publish into, which is exactly the cross-worker
+	// shared state the seam analyzers exist to guard. Other
+	// cross-package callees (the simulator, the apps) operate on
+	// shard-private per-account state by construction and stay out.
 	ReachFleet map[*Node]bool
 	// ReachSeam is the union of the concurrency seams shardsafe guards:
 	// interceptor roots, OnTick hooks, the method sets of the
@@ -221,7 +224,7 @@ func ComputeFacts(prog *Program) *Facts {
 	f.ReachInterceptor = b.graph.Reachable(b.interceptorRoots, anyEdge)
 	f.ReachOnTick = b.graph.Reachable(b.onTickRoots, anyEdge)
 	f.ReachHandler = b.graph.Reachable(b.handlerRoots, anyEdge)
-	f.ReachFleet = b.graph.Reachable(b.fleetRoots, SamePackage)
+	f.ReachFleet = b.graph.Reachable(b.fleetRoots, fleetScope)
 	seamRoots := append(append(append([]*Node(nil), b.interceptorRoots...), b.onTickRoots...), batchRoots...)
 	f.ReachSeam = b.graph.Reachable(seamRoots, anyEdge)
 	for n := range f.ReachFleet {
@@ -289,6 +292,11 @@ func (g *Graph) CanReach(pkg *Package, pred func(*Node) bool, edge func(from, to
 // SamePackage is the edge filter restricting reachability to calls that
 // stay inside one package.
 func SamePackage(from, to *Node) bool { return from.Pkg == to.Pkg }
+
+// fleetScope is the ReachFleet edge filter: follow a call only when the
+// callee's body lives under internal/fleet (the engine package or its
+// telemetry control tower).
+func fleetScope(from, to *Node) bool { return pathWithin(to.Pkg.Path, "internal/fleet") }
 
 // recvTypeName reports the bare receiver type name of a method ("" for
 // plain functions).

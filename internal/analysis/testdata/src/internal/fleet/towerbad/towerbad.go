@@ -1,0 +1,35 @@
+// Package towerbad publishes fleet control-tower rollups the slow way:
+// the per-account Observe hook formats series names with fmt.Sprintf
+// and binds rows through a per-call map literal, both directly in the
+// hook body and through a same-package helper. hotpath's fleet seam
+// must flag every formatting site and literal map it can reach.
+package towerbad
+
+import "fmt"
+
+// Tower collects per-account rollups; its Observe hooks run once per
+// simulated account, inside the benchmark-timed shard workers.
+type Tower struct {
+	rows []string
+}
+
+// ObserveAccount is the per-account publish hook — formatting here
+// runs per account, the exact pattern interning exists to remove.
+func (t *Tower) ObserveAccount(service, op string, requests int) {
+	ns := fmt.Sprintf("fleet/%s/%s", service, op) // flagged: per-account format
+	labels := map[string]string{"ns": ns}         // flagged: per-account map literal
+	t.rows = append(t.rows, labels["ns"])
+	t.note(service, op)
+}
+
+// note is a same-package callee of the hook: its formatting runs per
+// account just the same, so the fixpoint must reach it.
+func (t *Tower) note(service, op string) {
+	t.rows = append(t.rows, fmt.Sprint(service, ":", op)) // flagged: reached from Observe hook
+}
+
+// RenderDashboard formats outside the Observe hooks' reach; hotpath
+// must stay silent here even in a package that defines Observe hooks.
+func (t *Tower) RenderDashboard() string {
+	return fmt.Sprintf("%d rows", len(t.rows))
+}

@@ -1,0 +1,42 @@
+// Package towergood publishes fleet control-tower rollups the fast
+// way: namespace strings are interned once per (service, op) into a
+// map built with make, and per-account work is appends and integer
+// indices. hotpath's fleet seam must stay silent.
+package towergood
+
+import "fmt"
+
+// Tower interns namespace strings on first sight; steady-state
+// observation is two map reads and an append.
+type Tower struct {
+	byService map[string]map[string]string
+	rows      []string
+}
+
+// NewTower builds the interning tables with make (allowed: the
+// allocation happens once, not per account).
+func NewTower() *Tower {
+	return &Tower{byService: make(map[string]map[string]string)}
+}
+
+// ObserveAccount resolves the interned name, minting it only on first
+// sight with plain concatenation.
+func (t *Tower) ObserveAccount(service, op string, requests int) {
+	ops := t.byService[service]
+	if ops == nil {
+		ops = make(map[string]string)
+		t.byService[service] = ops
+	}
+	ns := ops[op]
+	if ns == "" {
+		ns = "fleet/" + service + "/" + op
+		ops[op] = ns
+	}
+	t.rows = append(t.rows, ns)
+}
+
+// RenderDashboard formats for humans — once, after the run — and is
+// not reachable from the Observe hooks, so formatting here is fine.
+func (t *Tower) RenderDashboard() string {
+	return fmt.Sprintf("%d rows", len(t.rows))
+}

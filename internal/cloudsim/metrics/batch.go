@@ -40,8 +40,8 @@ type Batch struct {
 func (s *Service) NewBatch() *Batch {
 	b := &Batch{
 		svc:   s,
-		buf:   make([]sample, 0, batchCap),
-		spare: make([]sample, 0, batchCap),
+		buf:   newSampleBuf(),
+		spare: newSampleBuf(),
 	}
 	s.mu.Lock()
 	s.batches = append(s.batches, b)
@@ -159,3 +159,12 @@ func hostNow() int64 {
 	}
 	return 0
 }
+
+// HostNow exposes the injected host clock to the rest of the module:
+// nanoseconds from the SetHostClock source, or 0 when none is set.
+// The fleet control tower times its host-side phases (profile
+// generation, shard drain, aggregation, per-account install vs replay)
+// through this so simulated and test runs — which never inject a host
+// clock — measure zero everywhere and stay bit-identical, while
+// interactive diyctl runs see real durations.
+func HostNow() int64 { return hostNow() }

@@ -22,6 +22,7 @@
 package metrics
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -157,7 +158,7 @@ func (s *Service) insertLocked(h Handle, ns int64, value float64) {
 	sx := s.series[h]
 	n := sx.n
 	if n&chunkMask == 0 && n>>chunkShift == len(sx.chunks) {
-		sx.chunks = append(sx.chunks, &chunk{})
+		sx.chunks = append(sx.chunks, newChunk())
 	}
 	if n == 0 || sx.at(n-1) <= ns {
 		// In-order append — the steady state. No data moves, no bucket
@@ -257,7 +258,7 @@ func (s *Service) window(namespace, metric string, from, to time.Time) []Datum {
 	}
 	out := make([]Datum, hi-lo)
 	for i := range out {
-		out[i] = Datum{At: time.Unix(0, sx.at(lo+i)).UTC(), Value: sx.val(lo+i)}
+		out[i] = Datum{At: time.Unix(0, sx.at(lo+i)).UTC(), Value: sx.val(lo + i)}
 	}
 	return out
 }
@@ -373,9 +374,38 @@ func (s *Service) Avg(namespace, metric string, from, to time.Time) float64 {
 	return avg
 }
 
+// NearestRank returns the zero-based index of the p-th percentile in
+// an ascending n-sample set, under the nearest-rank definition: the
+// smallest value with at least p% of the samples at or below it, i.e.
+// rank ceil(p/100·n). p is in percent and may be fractional (99.9).
+// This is the single percentile-index implementation in the module —
+// Percentile below and the fleet engine's cost/latency summaries both
+// read through it, so the two percentile surfaces can never disagree
+// by an off-by-one again.
+//
+// The small epsilon absorbs binary-representation excess in the
+// product: 99.9/100·1000 evaluates to 999.0000000000001, whose bare
+// ceiling (1000) would skip past the correct rank 999. Integer p is
+// unaffected — any true fractional part is at least ~1/100, ten
+// million times the epsilon.
+func NearestRank(n int, p float64) int {
+	if n <= 0 {
+		return 0
+	}
+	rank := int(math.Ceil(float64(n)*p/100 - 1e-9))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return rank - 1
+}
+
 // Percentile reports the p-th percentile (nearest rank) of the window,
-// 0 for an empty window.
-func (s *Service) Percentile(namespace, metric string, from, to time.Time, p int) float64 {
+// 0 for an empty window. p is in percent and may be fractional: p99.9
+// asks for the smallest value covering 99.9% of the samples.
+func (s *Service) Percentile(namespace, metric string, from, to time.Time, p float64) float64 {
 	var vals []float64
 	s.stat(namespace, metric, from, to, func(sx *series, lo, hi int) {
 		if lo == hi {
@@ -397,16 +427,49 @@ func (s *Service) Percentile(namespace, metric string, from, to time.Time, p int
 		return 0
 	}
 	sort.Float64s(vals)
-	// Nearest-rank definition: the smallest value with at least p% of
-	// the samples at or below it, i.e. rank ceil(p/100 * n).
-	rank := (p*len(vals) + 99) / 100
-	if rank < 1 {
-		rank = 1
+	return vals[NearestRank(len(vals), p)]
+}
+
+// SeriesStat summarizes one stored series: its identity plus
+// whole-series aggregates. Last is the most recent sample's value —
+// for cumulative gauges (account.cost.nanodollars) it is the final
+// reading.
+type SeriesStat struct {
+	Namespace string
+	Metric    string
+	Count     int
+	Sum       float64
+	Min       float64
+	Max       float64
+	Last      float64
+}
+
+// SeriesStats returns one summary per series holding at least one
+// sample, in series-creation order. Within a single-threaded
+// simulation (one account's cloud) creation order is deterministic, so
+// the fleet control tower can fold a finished account's store into its
+// rollups without sorting or per-series window queries.
+func (s *Service) SeriesStats() []SeriesStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	out := make([]SeriesStat, 0, len(s.series))
+	for _, sx := range s.series {
+		if sx.n == 0 {
+			continue
+		}
+		sum, min, max, _ := sx.statRange(0, sx.n)
+		out = append(out, SeriesStat{
+			Namespace: sx.namespace,
+			Metric:    sx.metric,
+			Count:     sx.n,
+			Sum:       sum,
+			Min:       min,
+			Max:       max,
+			Last:      sx.val(sx.n - 1),
+		})
 	}
-	if rank > len(vals) {
-		rank = len(vals)
-	}
-	return vals[rank-1]
+	return out
 }
 
 // Metrics lists the metric names recorded under a namespace, sorted.

@@ -72,25 +72,52 @@ func TestPercentileNearestRank(t *testing.T) {
 		s.Record("ns", "m", t0.Add(time.Duration(i)*time.Minute), v)
 	}
 	cases := []struct {
-		p    int
+		p    float64
 		want float64
 	}{
-		{0, 10},   // clamped to rank 1
-		{25, 10},  // ceil(0.25*4) = 1
-		{50, 20},  // ceil(0.5*4) = 2 — the old idx=n*p/100 formula said 30
-		{75, 30},  // ceil(0.75*4) = 3
-		{90, 40},  // ceil(0.9*4) = 4
-		{100, 40}, // rank n, the maximum
+		{0, 10},    // clamped to rank 1
+		{25, 10},   // ceil(0.25*4) = 1
+		{50, 20},   // ceil(0.5*4) = 2 — the old idx=n*p/100 formula said 30
+		{75, 30},   // ceil(0.75*4) = 3
+		{90, 40},   // ceil(0.9*4) = 4
+		{99.9, 40}, // fractional p: ceil(0.999*4) = 4
+		{100, 40},  // rank n, the maximum
 	}
 	for _, c := range cases {
 		if got := s.Percentile("ns", "m", time.Time{}, time.Time{}, c.p); got != c.want {
-			t.Errorf("p%d = %v, want %v", c.p, got, c.want)
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
 		}
 	}
 	one := New()
 	one.Record("ns", "m", t0, 7)
 	if got := one.Percentile("ns", "m", time.Time{}, time.Time{}, 50); got != 7 {
 		t.Errorf("single-sample p50 = %v, want 7", got)
+	}
+}
+
+// NearestRank is the one shared rank formula (fleet stats reads its
+// sorted samples through it too); pin the edge cases, in particular
+// the float-noise one: 1000*99.9/100 evaluates to 999.0000000000001
+// in IEEE 754, and a bare Ceil would skip past the true rank.
+func TestNearestRank(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		want int
+	}{
+		{0, 50, 0},        // empty: callers guard, but stay in range
+		{1, 0, 0},         // clamped up to rank 1
+		{1, 100, 0},       // single sample is every percentile
+		{4, 50, 1},        // ceil(2) = rank 2
+		{4, 50.1, 2},      // just past the boundary: rank 3
+		{1000, 99.9, 998}, // exactly rank 999 despite float noise
+		{1000, 100, 999},
+		{10, 120, 9}, // out-of-range p clamps to rank n
+	}
+	for _, c := range cases {
+		if got := NearestRank(c.n, c.p); got != c.want {
+			t.Errorf("NearestRank(%d, %v) = %d, want %d", c.n, c.p, got, c.want)
+		}
 	}
 }
 
@@ -274,7 +301,7 @@ func TestStatsAgainstBruteForce(t *testing.T) {
 					if rank < 1 {
 						rank = 1
 					}
-					if got, want := s.Percentile("ns", "m", from, to, p), sorted[rank-1]; got != want {
+					if got, want := s.Percentile("ns", "m", from, to, float64(p)), sorted[rank-1]; got != want {
 						t.Fatalf("trial %d: p%d = %v, want %v", trial, p, got, want)
 					}
 				}

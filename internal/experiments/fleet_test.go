@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/fleet/telemetry"
 )
 
 // TestLedgerParityFleet pins the 1,000-account fleet bit-for-bit: the
@@ -21,4 +23,42 @@ func TestLedgerParityFleet(t *testing.T) {
 	sb.WriteString(rep.RawFingerprint())
 	sb.WriteString(rep.RenderAccounts())
 	checkGolden(t, "ledger_fleet.golden", sb.String())
+}
+
+// TestLedgerParityFleetTelemetry reruns the same fleet with the
+// control tower attached and diffs against the *same* golden file —
+// the enforced form of "telemetry on == telemetry off". The tower
+// turns on per-account CloudWatch interception, shard counters, and
+// cross-account rollups; none of it may move a single byte of the
+// replay-identity output. (check.sh's `-run TestLedgerParityFleet`
+// prefix match runs this at GOMAXPROCS=1 and NumCPU too.)
+func TestLedgerParityFleetTelemetry(t *testing.T) {
+	cfg := DefaultFleetConfig()
+	tower := telemetry.NewTower(telemetry.Options{})
+	cfg.Tower = tower
+	rep, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString(rep.Render())
+	sb.WriteString(rep.RawFingerprint())
+	sb.WriteString(rep.RenderAccounts())
+	checkGolden(t, "ledger_fleet.golden", sb.String())
+
+	// Sanity: the tower actually observed the run.
+	p := tower.Progress()
+	if p.AccountsDone != rep.Result.Simulated || p.Requests != rep.Result.TotalRequests {
+		t.Fatalf("tower progress %+v does not match result (simulated=%d requests=%d)",
+			p, rep.Result.Simulated, rep.Result.TotalRequests)
+	}
+	if p.Events <= 0 || p.ShardsDone <= 0 {
+		t.Fatalf("tower saw no engine activity: %+v", p)
+	}
+	dash := tower.RenderDashboard()
+	for _, want := range []string{"Fleet control tower", "lambda/", "account span spend", "top 5 accounts"} {
+		if !strings.Contains(dash, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, dash)
+		}
+	}
 }

@@ -1,9 +1,11 @@
 package fleet
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -13,7 +15,9 @@ import (
 	"repro/internal/apps/filetransfer"
 	"repro/internal/apps/iot"
 	"repro/internal/cloudsim/clock"
+	"repro/internal/cloudsim/metrics"
 	"repro/internal/core"
+	"repro/internal/fleet/telemetry"
 	"repro/internal/pricing"
 	"repro/internal/workload"
 )
@@ -57,15 +61,52 @@ type accountSim struct {
 
 // simulateAccount builds one account's private world — timeline, cloud
 // wired from the shared immutable bundle, deployment — replays its
-// span, and returns the outcome.
-func simulateAccount(cfg *Config, shared *core.Shared, profile workload.AccountProfile) accountOutcome {
-	a, err := newAccountSim(cfg, shared, profile)
+// span, and returns the outcome. slot is the account's position in the
+// simulated sub-fleet (its outcome-slice index).
+//
+// The pprof phase labels and metrics.HostNow marks attribute the
+// account's host-clock cost to its two halves: NewCloud + app install
+// versus the request-plane replay — the split the ROADMAP's ~100
+// µs/request headroom question needs. HostNow is zero (and the labels
+// free) in simulated runs with no injected host clock.
+func simulateAccount(cfg *Config, shared *core.Shared, profile workload.AccountProfile, slot int) accountOutcome {
+	var a *accountSim
+	var err error
+	installStart := metrics.HostNow()
+	pprof.Do(context.Background(), pprof.Labels("phase", "install"), func(context.Context) {
+		a, err = newAccountSim(cfg, shared, profile)
+	})
 	if err != nil {
 		return accountOutcome{err: fmt.Errorf("account %06d (%v): %w", profile.Index, profile.Kind, err)}
 	}
-	a.scheduleNext()
-	a.tl.RunUntil(a.end)
-	return a.outcome()
+	drainStart := metrics.HostNow()
+	var events int
+	pprof.Do(context.Background(), pprof.Labels("phase", "drain"), func(context.Context) {
+		a.scheduleNext()
+		events = a.tl.RunUntil(a.end)
+	})
+	drainEnd := metrics.HostNow()
+	o := a.outcome()
+	o.events = events
+	if cfg.Tower != nil && o.err == nil {
+		// Reduce the account's CloudWatch series while the store is hot,
+		// then recycle its chunks and batch buffers (below) — the fleet
+		// builds and drops one store per account, and pooling that
+		// storage is what keeps the telemetry bench within budget.
+		cfg.Tower.ObserveAccount(a.cloud.Metrics, telemetry.AccountObservation{
+			Slot:             slot,
+			Index:            profile.Index,
+			Kind:             profile.Kind.String(),
+			Requests:         o.stats.Requests,
+			ColdStarts:       o.stats.ColdStarts,
+			Events:           events,
+			MonthlyCostNanos: o.stats.MonthlyCost.Nanodollars(),
+			InstallHostNs:    drainStart - installStart,
+			DrainHostNs:      drainEnd - drainStart,
+		})
+	}
+	a.cloud.Metrics.Recycle()
+	return o
 }
 
 // newAccountSim wires the account: an injected shard-local timeline,
@@ -76,11 +117,16 @@ func newAccountSim(cfg *Config, shared *core.Shared, profile workload.AccountPro
 	params := shared.Params
 	params.Seed = workload.Substream(profile.Seed, "netsim")
 	cloud, err := core.NewCloud(core.CloudOptions{
-		Name:                 fmt.Sprintf("fleet-%06d", profile.Index),
-		Shared:               shared,
-		Clock:                tl.Clock(),
-		NetParams:            &params,
-		DisableObservability: true,
+		Name:      fmt.Sprintf("fleet-%06d", profile.Index),
+		Shared:    shared,
+		Clock:     tl.Clock(),
+		NetParams: &params,
+		// With a control tower attached, each account publishes its
+		// CloudWatch plane series for the cross-account rollups. The
+		// interceptor is read-only over the request path, so enabling it
+		// never moves a ledger. Logging stays off either way: the fleet
+		// reads no logs, and ingest would dominate the span's cost.
+		DisableObservability: cfg.Tower == nil,
 		DisableLogging:       true,
 	})
 	if err != nil {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"repro/internal/fleet/telemetry"
 )
 
 // BenchmarkFleet measures fleet simulation throughput end to end —
@@ -30,4 +32,33 @@ func BenchmarkFleet(b *testing.B) {
 			b.ReportMetric(perOp/float64(requests), "ns/request")
 		})
 	}
+}
+
+// BenchmarkFleetTelemetry is BenchmarkFleet with the control tower
+// attached: per-account CloudWatch interception, series reduction at
+// account completion, shard counters, and the Finalize merge. The
+// bench gate holds its ns/request within the margin of the untelemetered
+// BenchmarkFleet — the "near-zero-overhead observability" claim, priced.
+func BenchmarkFleetTelemetry(b *testing.B) {
+	const accounts = 1000
+	b.Run(fmt.Sprintf("accounts=%d", accounts), func(b *testing.B) {
+		requests := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh tower per iteration: Begin/Finalize are one-shot.
+			cfg := Config{
+				Accounts: accounts,
+				Span:     10 * time.Minute,
+				Tower:    telemetry.NewTower(telemetry.Options{}),
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			requests = res.TotalRequests
+		}
+		perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(float64(accounts)/(perOp/1e9), "accounts/sec")
+		b.ReportMetric(perOp/float64(requests), "ns/request")
+	})
 }

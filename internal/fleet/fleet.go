@@ -22,7 +22,9 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/cloudsim/metrics"
 	"repro/internal/core"
+	"repro/internal/fleet/telemetry"
 	"repro/internal/pricing"
 	"repro/internal/workload"
 )
@@ -60,6 +62,11 @@ type Config struct {
 	// to pin identical seeds on two accounts). Nil means
 	// workload.Profile.
 	Profile func(base int64, index int) workload.AccountProfile
+	// Tower, when non-nil, turns on the fleet control tower: engine
+	// self-telemetry, per-account CloudWatch observability, and
+	// cross-account rollups. It never affects results — the telemetry
+	// parity test pins ledger goldens bit-identical with it on.
+	Tower *telemetry.Tower
 }
 
 // AccountStats is one simulated account's outcome.
@@ -128,6 +135,11 @@ type Result struct {
 	// (multiply by ScaleFactor for the modelled fleet).
 	TotalRequests   int
 	TotalColdStarts int
+
+	// Sorted percentile caches, built once per distribution: reports
+	// ask for three or more percentiles of the same samples.
+	sortedCosts     []pricing.Money
+	sortedLatencies []time.Duration
 }
 
 // month is the simulator's billing month (matching pricing's 30-day
@@ -199,9 +211,16 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Accounts > cfg.MaxSimulated {
 		stride = int(math.Ceil(float64(cfg.Accounts) / float64(cfg.MaxSimulated)))
 	}
+	// Host-clock phase marks: all zero (and so all phase timings zero)
+	// unless a host clock was injected via metrics.SetHostClock, which
+	// simulated runs never do.
+	hostProfiles := metrics.HostNow()
 	var profiles []workload.AccountProfile
 	for i := 0; i < cfg.Accounts; i += stride {
 		profiles = append(profiles, profileFn(cfg.Seed, i))
+	}
+	if cfg.Tower != nil {
+		cfg.Tower.Begin(len(profiles), cfg.Shards, cfg.Seed, cfg.Span)
 	}
 
 	res := &Result{
@@ -226,7 +245,9 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("fleet: %w", err)
 	}
 
+	hostDrain := metrics.HostNow()
 	outcomes := runShards(&cfg, shared, profiles)
+	hostAggregate := metrics.HostNow()
 
 	// Aggregation: strictly in account-index order, after the barrier.
 	// Errors resolve deterministically to the lowest-indexed failure.
@@ -247,21 +268,46 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
+
+	// Sort the percentile inputs once, here, so every later
+	// Cost/LatencyPercentile query is a single indexed read.
+	costs := make([]pricing.Money, 0, len(res.PerAccount))
+	for _, a := range res.PerAccount {
+		costs = append(costs, a.MonthlyCost)
+	}
+	res.sortedCosts = sortedMoney(costs)
+	res.sortedLatencies = sortedDurations(res.Latencies)
+
+	if cfg.Tower != nil {
+		cfg.Tower.ObservePhases(telemetry.PhaseTimings{
+			ProfilesNs:  hostDrain - hostProfiles,
+			DrainNs:     hostAggregate - hostDrain,
+			AggregateNs: metrics.HostNow() - hostAggregate,
+		})
+		cfg.Tower.Finalize()
+	}
 	return res, nil
 }
 
 // CostPercentile reports the p-th percentile (nearest-rank) of the
 // per-account monthly cost distribution.
 func (r *Result) CostPercentile(p float64) pricing.Money {
-	costs := make([]pricing.Money, 0, len(r.PerAccount))
-	for _, a := range r.PerAccount {
-		costs = append(costs, a.MonthlyCost)
+	if r.sortedCosts == nil && len(r.PerAccount) > 0 {
+		// Hand-built Result (tests): build the cache lazily.
+		costs := make([]pricing.Money, 0, len(r.PerAccount))
+		for _, a := range r.PerAccount {
+			costs = append(costs, a.MonthlyCost)
+		}
+		r.sortedCosts = sortedMoney(costs)
 	}
-	return moneyPercentile(costs, p)
+	return moneyPercentileSorted(r.sortedCosts, p)
 }
 
 // LatencyPercentile reports the p-th percentile (nearest-rank) of the
 // fleet-wide request latency distribution.
 func (r *Result) LatencyPercentile(p float64) time.Duration {
-	return durationPercentile(r.Latencies, p)
+	if r.sortedLatencies == nil && len(r.Latencies) > 0 {
+		r.sortedLatencies = sortedDurations(r.Latencies)
+	}
+	return durationPercentileSorted(r.sortedLatencies, p)
 }

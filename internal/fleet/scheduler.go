@@ -1,11 +1,15 @@
 package fleet
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet/telemetry"
 	"repro/internal/workload"
 )
 
@@ -26,7 +30,10 @@ type accountOutcome struct {
 	stats     AccountStats
 	latencies []time.Duration
 	samples   []reqSample
-	err       error
+	// events counts the timeline events the account's replay popped —
+	// engine self-telemetry, surfaced per shard by the control tower.
+	events int
+	err    error
 }
 
 // reqSample pairs one request's inter-request gap with whether it hit
@@ -64,26 +71,57 @@ func runShards(cfg *Config, shared *core.Shared, profiles []workload.AccountProf
 		shards[s] = append(shards[s], pos)
 	}
 
+	// Precomputed pprof label values, so the hot loop never formats.
+	shardNames := make([]string, cfg.Shards)
+	for i := range shardNames {
+		shardNames[i] = fmt.Sprintf("%03d", i)
+	}
+
 	out := make([]accountOutcome, len(profiles))
-	jobs := make(chan []int)
+	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := workers(cfg); w > 0; w-- {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for shard := range jobs {
-				for _, pos := range shard {
-					out[pos] = simulateAccount(cfg, shared, profiles[pos])
-				}
+			for sid := range jobs {
+				// Label the whole shard drain for CPU profiles: samples
+				// attribute to their shard, and within it to the
+				// install/drain phase set per account.
+				pprof.Do(context.Background(), pprof.Labels("shard", shardNames[sid]), func(context.Context) {
+					drainShard(cfg, shared, profiles, shards[sid], sid, out)
+				})
 			}
 		}()
 	}
-	for _, shard := range shards {
+	for sid, shard := range shards {
 		if len(shard) > 0 {
-			jobs <- shard
+			jobs <- sid
 		}
 	}
 	close(jobs)
 	wg.Wait()
 	return out
+}
+
+// drainShard simulates one logical shard's accounts sequentially in
+// index order, depositing each outcome in its owned slot, and reports
+// the shard's virtual-time totals to the control tower.
+func drainShard(cfg *Config, shared *core.Shared, profiles []workload.AccountProfile, shard []int, sid int, out []accountOutcome) {
+	var sc telemetry.ShardCounters
+	for _, pos := range shard {
+		o := simulateAccount(cfg, shared, profiles[pos], pos)
+		out[pos] = o
+		if o.err != nil {
+			continue
+		}
+		sc.Accounts++
+		sc.Requests += o.stats.Requests
+		sc.ColdStarts += o.stats.ColdStarts
+		sc.Events += o.events
+		sc.HorizonNs += int64(cfg.Span)
+	}
+	if cfg.Tower != nil {
+		cfg.Tower.ObserveShard(sid, sc)
+	}
 }

@@ -4,38 +4,49 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cloudsim/metrics"
 	"repro/internal/pricing"
 )
 
-// Nearest-rank percentiles over copies, so aggregation inputs (which
-// are merged in account order and must stay replay-stable) are never
-// reordered in place. p is in percent and may be fractional (99.9).
+// Percentiles over the fleet's aggregated distributions. Two rules:
+//
+//   - One rank formula, shared with metrics.Percentile via
+//     metrics.NearestRank — a second truncating copy here is exactly
+//     how the off-by-one PR 1 fixed crept back in.
+//   - Sort once per sample set, not per query. Aggregation inputs are
+//     merged in account order and must stay replay-stable, so the sort
+//     always works on a copy; but a report asks for three or more
+//     percentiles of the same distribution, and re-copying and
+//     re-sorting 10^5 latencies per query is pure waste.
 
-func moneyPercentile(samples []pricing.Money, p float64) pricing.Money {
-	if len(samples) == 0 {
-		return 0
-	}
+// sortedMoney returns an ascending-sorted copy of samples.
+func sortedMoney(samples []pricing.Money) []pricing.Money {
 	cp := append([]pricing.Money(nil), samples...)
 	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
-	return cp[rankIndex(len(cp), p)]
+	return cp
 }
 
-func durationPercentile(samples []time.Duration, p float64) time.Duration {
-	if len(samples) == 0 {
-		return 0
-	}
+// sortedDurations returns an ascending-sorted copy of samples.
+func sortedDurations(samples []time.Duration) []time.Duration {
 	cp := append([]time.Duration(nil), samples...)
 	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
-	return cp[rankIndex(len(cp), p)]
+	return cp
 }
 
-func rankIndex(n int, p float64) int {
-	idx := int(float64(n) * p / 100)
-	if idx >= n {
-		idx = n - 1
+// moneyPercentileSorted reads the nearest-rank p-th percentile from an
+// already-sorted sample set. p is in percent and may be fractional.
+func moneyPercentileSorted(sorted []pricing.Money, p float64) pricing.Money {
+	if len(sorted) == 0 {
+		return 0
 	}
-	if idx < 0 {
-		idx = 0
+	return sorted[metrics.NearestRank(len(sorted), p)]
+}
+
+// durationPercentileSorted reads the nearest-rank p-th percentile from
+// an already-sorted sample set. p is in percent and may be fractional.
+func durationPercentileSorted(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
 	}
-	return idx
+	return sorted[metrics.NearestRank(len(sorted), p)]
 }

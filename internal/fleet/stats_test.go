@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cloudsim/metrics"
+	"repro/internal/pricing"
+)
+
+// The fleet percentile helpers must agree exactly with the metrics
+// store's nearest-rank reference — one rank formula, two sample types.
+// This property test feeds identical random samples to both paths and
+// diffs every percentile, fractional ones included; the p=99.9 cases
+// are the regression guard for the truncating rankIndex this package
+// used to carry.
+func TestPercentilesMatchMetricsReference(t *testing.T) {
+	ps := []float64{0, 25, 50, 75, 90, 99, 99.9, 100}
+	rng := rand.New(rand.NewSource(7))
+	epoch := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		moneys := make([]pricing.Money, n)
+		durs := make([]time.Duration, n)
+		ref := metrics.New()
+		for i := 0; i < n; i++ {
+			v := rng.Int63n(1_000_000_000)
+			moneys[i] = pricing.Money(v)
+			durs[i] = time.Duration(v)
+			ref.Record("ns", "m", epoch.Add(time.Duration(i)*time.Second), float64(v))
+		}
+		sm := sortedMoney(moneys)
+		sd := sortedDurations(durs)
+		for _, p := range ps {
+			want := ref.Percentile("ns", "m", time.Time{}, time.Time{}, p)
+			if got := moneyPercentileSorted(sm, p); float64(got) != want {
+				t.Fatalf("trial %d n=%d: moneyPercentile(p=%v) = %d, metrics reference %v", trial, n, p, got, want)
+			}
+			if got := durationPercentileSorted(sd, p); float64(got) != want {
+				t.Fatalf("trial %d n=%d: durationPercentile(p=%v) = %d, metrics reference %v", trial, n, p, got, want)
+			}
+		}
+	}
+}
+
+// Edge cases the property loop can't hit: empty and single-sample
+// inputs, and the sortedness of the copies.
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := moneyPercentileSorted(nil, 50); got != 0 {
+		t.Fatalf("empty money p50 = %v", got)
+	}
+	if got := durationPercentileSorted(nil, 99.9); got != 0 {
+		t.Fatalf("empty duration p99.9 = %v", got)
+	}
+	one := sortedMoney([]pricing.Money{41})
+	for _, p := range []float64{0, 50, 99.9, 100} {
+		if got := moneyPercentileSorted(one, p); got != 41 {
+			t.Fatalf("single-sample money p%v = %v, want 41", p, got)
+		}
+	}
+	// The sorted copies never reorder the aggregation input.
+	in := []pricing.Money{3, 1, 2}
+	cp := sortedMoney(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("sortedMoney mutated its input: %v", in)
+	}
+	if cp[0] != 1 || cp[1] != 2 || cp[2] != 3 {
+		t.Fatalf("sortedMoney not sorted: %v", cp)
+	}
+	din := []time.Duration{3, 1, 2}
+	dcp := sortedDurations(din)
+	if din[0] != 3 {
+		t.Fatalf("sortedDurations mutated its input: %v", din)
+	}
+	if dcp[0] != 1 || dcp[2] != 3 {
+		t.Fatalf("sortedDurations not sorted: %v", dcp)
+	}
+}

@@ -1,0 +1,166 @@
+package telemetry_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cloudsim/clock"
+	"repro/internal/cloudsim/metrics"
+	"repro/internal/fleet/telemetry"
+)
+
+// fixtureAccounts is a small synthetic fleet: two app kinds spread
+// over two service namespaces, with one account (index 3) carrying a
+// deliberately identical monthly cost to index 4 to exercise the
+// top-N tie break.
+const fixtureAccounts = 6
+
+func observeFixtureAccount(tw *telemetry.Tower, i int) {
+	svc := metrics.New()
+	at := clock.Epoch.Add(time.Minute)
+	ns := "lambda/Invoke"
+	kind := "blog"
+	if i%2 == 1 {
+		ns = "s3/PutObject"
+		kind = "drive"
+	}
+	svc.Record(ns, metrics.MetricPlaneRequests, at, float64(10+i))
+	svc.Record(ns, metrics.MetricPlaneErrors, at, float64(i%2))
+	svc.Record(ns, metrics.MetricPlaneDenials, at, 0)
+	svc.Record(ns, metrics.MetricPlaneLatencyMs, at, float64(3*(10+i)))
+	svc.Record(ns, metrics.MetricPlaneCostNanos, at, float64(1_000_000*(i+1)))
+	svc.Record(metrics.AccountNamespace, metrics.MetricAccountCostNanos, at, float64(500_000*(i+1)))
+	monthly := int64(1_000_000_000) * int64(i+1)
+	if i == 3 {
+		monthly = 5_000_000_000 // ties with index 4
+	}
+	tw.ObserveAccount(svc, telemetry.AccountObservation{
+		Slot: i, Index: i, Kind: kind,
+		Requests: 10 + i, ColdStarts: i % 3, Events: 100 + i,
+		MonthlyCostNanos: monthly,
+	})
+}
+
+func runFixture(accountOrder, shardOrder []int) *telemetry.Tower {
+	tw := telemetry.NewTower(telemetry.Options{TopN: 3})
+	tw.Begin(fixtureAccounts, len(shardOrder), 42, time.Hour)
+	for _, i := range accountOrder {
+		observeFixtureAccount(tw, i)
+	}
+	for _, s := range shardOrder {
+		tw.ObserveShard(s, telemetry.ShardCounters{
+			Accounts: 3, Requests: 30 + s, ColdStarts: s,
+			Events: 300 + s, HorizonNs: int64(3 * time.Hour),
+		})
+	}
+	tw.Finalize()
+	return tw
+}
+
+// TestDashboardOrderIndependent drives the same synthetic fleet
+// through two towers with the accounts and shards observed in opposite
+// orders — the worker-completion races the real scheduler produces —
+// and requires byte-identical dashboards: Finalize merges in
+// account-index order, never arrival order.
+func TestDashboardOrderIndependent(t *testing.T) {
+	forward := runFixture([]int{0, 1, 2, 3, 4, 5}, []int{0, 1})
+	reverse := runFixture([]int{5, 3, 1, 4, 2, 0}, []int{1, 0})
+	a, b := forward.RenderDashboard(), reverse.RenderDashboard()
+	if a != b {
+		t.Fatalf("dashboard depends on observation order:\n--- forward ---\n%s--- reverse ---\n%s", a, b)
+	}
+	for _, want := range []string{
+		"Fleet control tower — 6 accounts, 2 shards, seed 42, span 1h0m0s",
+		"s3/PutObject", "lambda/Invoke",
+		"account span spend",
+		"top 3 accounts by monthly cost:",
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, a)
+		}
+	}
+	// The tie at $5/mo (indices 3 and 4) must resolve by fleet index
+	// ascending: #000003 before #000004, after the $6/mo leader.
+	i5 := strings.Index(a, "#000005")
+	i3 := strings.Index(a, "#000003")
+	i4 := strings.Index(a, "#000004")
+	if i5 < 0 || i3 < 0 || i4 < 0 || !(i5 < i3 && i3 < i4) {
+		t.Errorf("top-N order wrong (want #000005 < #000003 < #000004):\n%s", a)
+	}
+}
+
+// TestFinalizeIdempotent proves a double Finalize cannot double the
+// fleet series — the engine calls it once, but diyctl's watcher
+// teardown makes a second call cheap to reach.
+func TestFinalizeIdempotent(t *testing.T) {
+	tw := runFixture([]int{0, 1, 2, 3, 4, 5}, []int{0, 1})
+	before := tw.RenderDashboard()
+	tw.Finalize()
+	if after := tw.RenderDashboard(); after != before {
+		t.Fatalf("second Finalize changed the dashboard:\n--- before ---\n%s--- after ---\n%s", before, after)
+	}
+}
+
+// TestProgressCounters checks the live snapshot the -watch goroutine
+// polls: running totals across ObserveAccount/ObserveShard.
+func TestProgressCounters(t *testing.T) {
+	tw := telemetry.NewTower(telemetry.Options{})
+	tw.Begin(4, 2, 7, time.Hour)
+	p := tw.Progress()
+	if p.AccountsDone != 0 || p.AccountsTotal != 4 || p.ShardsTotal != 2 {
+		t.Fatalf("fresh progress = %+v", p)
+	}
+	observeFixtureAccount(tw, 0)
+	observeFixtureAccount(tw, 1)
+	tw.ObserveShard(0, telemetry.ShardCounters{Accounts: 2, Requests: 21, Events: 201})
+	p = tw.Progress()
+	if p.AccountsDone != 2 || p.ShardsDone != 1 {
+		t.Fatalf("mid-run progress = %+v", p)
+	}
+	if want := (10 + 0) + (10 + 1); p.Requests != want {
+		t.Fatalf("progress requests = %d, want %d", p.Requests, want)
+	}
+	if want := int64((100 + 0) + (100 + 1)); p.Events != want {
+		t.Fatalf("progress events = %d, want %d", p.Events, want)
+	}
+}
+
+// TestFleetStoreRollups reads the merged series back through the
+// tower's store: sums across accounts land under fleet/<ns>, and the
+// per-shard counters publish one sample per shard.
+func TestFleetStoreRollups(t *testing.T) {
+	tw := runFixture([]int{0, 1, 2, 3, 4, 5}, []int{0, 1})
+	st := tw.Store()
+	// Even accounts (0,2,4) hit lambda/Invoke with 10+i requests.
+	if got, want := st.Sum("fleet/lambda/Invoke", metrics.MetricPlaneRequests, time.Time{}, time.Time{}), float64(10+12+14); got != want {
+		t.Errorf("fleet lambda requests = %g, want %g", got, want)
+	}
+	if got, want := st.Sum("fleet/s3/PutObject", metrics.MetricPlaneErrors, time.Time{}, time.Time{}), 3.0; got != want {
+		t.Errorf("fleet s3 errors = %g, want %g", got, want)
+	}
+	if got := st.Count(metrics.FleetNamespace, metrics.MetricFleetShardEvents, time.Time{}, time.Time{}); got != 2 {
+		t.Errorf("shard-events samples = %d, want 2", got)
+	}
+	if got, want := st.Max(metrics.FleetNamespace, metrics.MetricFleetShardEvents, time.Time{}, time.Time{}), 301.0; got != want {
+		t.Errorf("shard-events max = %g, want %g", got, want)
+	}
+}
+
+// TestHostPhasesZeroWithoutClock pins the determinism contract's
+// visible edge: with no injected host clock every phase reads zero and
+// the renderer says so instead of printing noise timings.
+func TestHostPhasesZeroWithoutClock(t *testing.T) {
+	tw := runFixture([]int{0, 1, 2, 3, 4, 5}, []int{0, 1})
+	got := tw.RenderHostPhases()
+	if !strings.Contains(got, "no host clock injected") {
+		t.Fatalf("host phases without a clock = %q", got)
+	}
+	tw.ObservePhases(telemetry.PhaseTimings{ProfilesNs: 1e6, DrainNs: 2e6, AggregateNs: 3e6})
+	got = tw.RenderHostPhases()
+	for _, want := range []string{"profiles", "drain", "aggregate", "per-account split"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("host phases missing %q:\n%s", want, got)
+		}
+	}
+}

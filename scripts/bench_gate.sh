@@ -110,4 +110,27 @@ trap 'rm -f "$BUDGET"' EXIT
 # has just overwritten the working-tree snapshot with fresh numbers.
 git show HEAD:$SNAPSHOT >"$BUDGET"
 compare "$BUDGET" "$SNAPSHOT"
+
+# Relative telemetry-overhead gate: the fleet control tower must cost
+# under MARGIN% ns/request over the untelemetered fleet, measured
+# within the same snapshot so machine speed cancels out. Extraction
+# uses | as the sed delimiter — the benchmark names contain slashes.
+ns_req() {
+	sed -n 's|.*"name": "'"$1"'".*"ns_per_request": \([0-9.e+]*\).*|\1|p' "$SNAPSHOT"
+}
+BASE=$(ns_req "BenchmarkFleet/accounts=1000")
+TEL=$(ns_req "BenchmarkFleetTelemetry/accounts=1000")
+if [ -z "$BASE" ] || [ -z "$TEL" ]; then
+	echo "bench_gate: FAIL fleet telemetry overhead unmeasurable (BenchmarkFleet=${BASE:-missing}, BenchmarkFleetTelemetry=${TEL:-missing} in $SNAPSHOT)" >&2
+	exit 1
+fi
+awk -v base="$BASE" -v tel="$TEL" -v margin="$MARGIN" '
+BEGIN {
+	pct = 100 * (tel - base) / base
+	if (tel > base * (1 + margin / 100)) {
+		printf "bench_gate: FAIL fleet telemetry overhead %.1f%% ns/request (%g telemetry vs %g base; margin %g%%)\n", pct, tel, base, margin
+		exit 1
+	}
+	printf "bench_gate: ok   fleet telemetry overhead %.1f%% ns/request (%g telemetry vs %g base)\n", pct, tel, base
+}'
 echo "bench_gate: all benchmarks within budget (margin ${MARGIN}%)"

@@ -37,15 +37,19 @@ if ! [ -s "$LOG1" ]; then
 fi
 diff "$LOG1" "$LOG2"
 
-echo ">> fleet determinism (1,000-account golden at GOMAXPROCS=1 and NumCPU)"
+echo ">> fleet determinism (1,000-account golden at GOMAXPROCS=1 and NumCPU; control-tower telemetry on == off)"
 GOMAXPROCS=1 go test ./internal/experiments -run TestLedgerParityFleet -count=1
 go test ./internal/experiments -run TestLedgerParityFleet -count=1
 
-echo ">> fleet double-run (rendered report diffed across worker counts)"
-GOMAXPROCS=1 go run ./cmd/diyctl fleet -accounts 300 -span 15m >"$LOG1"
-go run ./cmd/diyctl fleet -accounts 300 -span 15m >"$LOG2"
+echo ">> fleet double-run (report + control-tower dashboard diffed across worker counts)"
+GOMAXPROCS=1 go run ./cmd/diyctl fleet -accounts 300 -span 15m >"$LOG1" 2>/dev/null
+go run ./cmd/diyctl fleet -accounts 300 -span 15m >"$LOG2" 2>/dev/null
 if ! [ -s "$LOG1" ]; then
 	echo "check: fleet run produced no report" >&2
+	exit 1
+fi
+if ! grep -q 'Fleet control tower' "$LOG1"; then
+	echo "check: fleet run rendered no control-tower dashboard" >&2
 	exit 1
 fi
 diff "$LOG1" "$LOG2"
