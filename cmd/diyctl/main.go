@@ -5,7 +5,8 @@
 //
 //	diyctl demo      # full scenario: install, chat, mail, bill, migrate
 //	diyctl store     # app-store walkthrough: publish, install, report
-//	diyctl trace     # flame-style trace of one chat send, with dollars
+//	diyctl trace     # X-Ray-sim: span trees, service map, filter queries
+//	diyctl trace -fleet  # sampled tracing across a fleet, tower rollups
 //	diyctl metrics   # CloudWatch-sim dashboard: RED metrics, alarms, cost
 //	diyctl logs      # CloudWatch Logs-sim: REPORT lines, Insights queries
 //	diyctl tcb       # print the trusted-computing-base comparison
@@ -48,7 +49,7 @@ func main() {
 	case "stream":
 		err = streamDemo()
 	case "trace":
-		err = traceDemo()
+		err = traceDemo(flag.Args()[1:])
 	case "metrics":
 		err = metricsDemo()
 	case "logs":
@@ -68,6 +69,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: diyctl <demo|store|attest|stream|trace|metrics|logs|tcb|bill|fleet>")
+	fmt.Fprintln(os.Stderr, "       diyctl trace [-fleet] [-accounts N] [-span D] [-seed S]")
 	fmt.Fprintln(os.Stderr, "       diyctl fleet [-accounts N] [-span D] [-seed S] [-max-simulated N] [-workers N] [-telemetry] [-top N] [-watch] [-cpuprofile F] [-memprofile F]")
 }
 

@@ -1,18 +1,41 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
 	diy "repro"
+	"repro/internal/cloudsim/sortutil"
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/fleet/telemetry"
 	"repro/internal/pricing"
 )
 
-// traceDemo sends two traced chat messages — one against a cold
-// container, one warm — and prints each as a flame-style span tree
-// with per-hop latency and list-price cost, then cross-checks the
-// trace's cost ledger against the pricing meter.
-func traceDemo() error {
+// traceDemo demonstrates the X-Ray-sim pillar. The default mode sends
+// two traced chat messages — one against a cold container, one warm —
+// prints each as a flame-style span tree with per-hop latency and
+// list-price cost, cross-checks the trace's cost ledger against the
+// pricing meter, then shows what the columnar store derives from the
+// same traces: the service map, a filter-expression query, and the
+// X-Ray bill. With -fleet it instead samples traces across a whole
+// fleet of accounts and renders the control tower's fleet-wide
+// service map and critical-path rollup (stdout is bit-identical
+// across replays — check.sh diffs it).
+func traceDemo(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	fleetMode := fs.Bool("fleet", false, "sample traces across a fleet and render the fleet-wide service map")
+	accounts := fs.Int("accounts", 300, "fleet size (with -fleet)")
+	span := fs.Duration("span", 15*time.Minute, "simulated activity window per account (with -fleet)")
+	seed := fs.Int64("seed", 1, "fleet master seed (with -fleet)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fleetMode {
+		return traceFleet(*accounts, *span, *seed)
+	}
+
 	fmt.Println("== distributed request tracing and cost attribution ==")
 	cloud, err := diy.NewCloud(diy.CloudOptions{Name: "trace-demo"})
 	if err != nil {
@@ -61,8 +84,55 @@ func traceDemo() error {
 	fmt.Printf("\n   cold send: %v and %s; warm send: %v and %s\n",
 		tr.Duration().Round(time.Millisecond), fmtMoney(tr.Cost(cloud.Book)),
 		tr2.Duration().Round(time.Millisecond), fmtMoney(tr2.Cost(cloud.Book)))
-	fmt.Printf("   recorder holds %d trace(s); latest: %q\n",
-		cloud.Tracer.Len(), cloud.Tracer.Last().Name())
+
+	// What the columnar store derives from the same stored traces.
+	st := cloud.Tracer
+	last, _ := st.Last()
+	fmt.Printf("   store holds %d trace(s); latest: %q\n", st.Len(), last.Name())
+
+	fmt.Println("\n-- service map derived from the stored traces:")
+	fmt.Print(indent(st.ServiceMap(cloud.Book, time.Time{}, time.Time{}).Render()))
+
+	fmt.Println("\n-- filter-expression queries over the store:")
+	for _, expr := range []string{
+		`annotation.cold_start = true`,
+		`service("kms") AND duration > 500ms`,
+	} {
+		matches, err := st.Query(expr, cloud.Book, time.Time{}, time.Time{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   %-40q -> %d of %d traces\n", expr, len(matches), st.Len())
+	}
+
+	stats := st.Stats()
+	var xray pricing.Money
+	for _, u := range st.Usage() {
+		xray += cloud.Book.ListPrice(u)
+	}
+	fmt.Printf("\n   x-ray: %d sampling decisions, %d kept, %d stored, %d scanned; list price %s (free tier covers 100k/1M)\n",
+		stats.Decided, stats.Kept, stats.Stored, stats.Scanned, fmtMoney(xray))
+	return nil
+}
+
+// traceFleet runs a fleet with per-account head sampling (X-Ray's
+// reservoir + 5% rule, seeded from each account's workload substream)
+// and renders the control tower's fleet-wide trace rollups.
+func traceFleet(accounts int, span time.Duration, seed int64) error {
+	tower := telemetry.NewTower(telemetry.Options{})
+	cfg := fleet.Config{
+		Accounts: accounts,
+		Seed:     seed,
+		Span:     span,
+		Trace:    true,
+		Tower:    tower,
+	}
+	rep, err := experiments.RunFleet(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	fmt.Print(tower.RenderTraceDashboard())
 	return nil
 }
 
@@ -87,4 +157,4 @@ func meterDiff(before, after []pricing.Usage) []pricing.Usage {
 	return out
 }
 
-func fmtMoney(m pricing.Money) string { return fmt.Sprintf("$%.8f", m.Dollars()) }
+func fmtMoney(m pricing.Money) string { return sortutil.FormatMoneyNanos(m.Nanodollars()) }

@@ -56,6 +56,10 @@ func main() {
 		check(err)
 		fmt.Println(tr3.Render())
 
+		x3, err := experiments.RunXRay3(*sends, *seed)
+		check(err)
+		fmt.Println(x3.Render())
+
 		m3, err := experiments.RunMetrics3(experiments.Table3Config{Sends: *sends, Seed: *seed})
 		check(err)
 		fmt.Println(m3.Render())

@@ -39,6 +39,8 @@ var fixtureDirs = []string{
 	"internal/cloudsim/loggroupgood",
 	"internal/cloudsim/hotpathbad",
 	"internal/cloudsim/hotpathgood",
+	"internal/cloudsim/trace/storebad",
+	"internal/cloudsim/trace/storegood",
 	"internal/cloudsim/errbad",
 	"internal/cloudsim/errgood",
 	"internal/cloudsim/mapbad",
@@ -114,6 +116,9 @@ var goldenCases = []struct {
 	// hotpath again over the fleet control tower's publish seam: the
 	// telemetry Observe hooks as reachability roots.
 	{HotPath, "internal/fleet/towerbad", "internal/fleet/towergood", "hotpathfleet"},
+	// hotpath a third time over the trace store's publish seam:
+	// Record/Decide/Flush as reachability roots.
+	{HotPath, "internal/cloudsim/trace/storebad", "internal/cloudsim/trace/storegood", "hotpathtrace"},
 }
 
 // TestGolden runs each analyzer over its positive and negative fixture

@@ -13,6 +13,12 @@ import (
 //   - In internal/cloudsim scopes, the body of any PlaneInterceptor —
 //     and every same-package function it can reach — runs per
 //     published call.
+//   - In internal/cloudsim/trace, the store's publish path — Record,
+//     Decide, and Flush, plus every same-package function they can
+//     reach — runs per request (the sampling decision and the staged
+//     append) or per clock tick (the columnar fold). Analytics reads
+//     (Query, ServiceMap, rendering) are off-path and may format.
+//
 //   - In internal/fleet scopes, the control tower's Observe* hooks —
 //     and every same-package function they can reach — run per
 //     completed account (with its whole CloudWatch series reduction)
@@ -42,6 +48,21 @@ func runHotPath(p *Pass) {
 	var seam string
 	var isRoot func(*Node) bool
 	switch {
+	case pathWithin(p.Pkg.Path, "internal/cloudsim/trace"):
+		// The trace seam must precede the general cloudsim one: the
+		// store's publish path is rooted at its own hot entry points,
+		// not at plane interceptors.
+		seam = "the trace-store publish path"
+		isRoot = func(n *Node) bool {
+			if n.Fn == nil {
+				return false
+			}
+			switch n.Fn.Name() {
+			case "Record", "Decide", "Flush":
+				return true
+			}
+			return false
+		}
 	case pathWithin(p.Pkg.Path, "internal/cloudsim"):
 		seam = "PlaneInterceptor"
 		isRoot = func(n *Node) bool { return n.Fn != nil && n.Fn.Name() == "PlaneInterceptor" }

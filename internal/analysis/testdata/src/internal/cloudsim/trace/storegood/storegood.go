@@ -1,0 +1,59 @@
+// Package storegood runs a trace store's publish path the fast way:
+// rule keys and segment names are interned into tables built with make
+// (allowed: the allocation happens once, not per call), deciding is a
+// map read, recording is a pointer append, and the fold resolves
+// interned handles. Analytics reads format freely off-path. hotpath
+// must stay silent.
+package storegood
+
+import "fmt"
+
+// Store interns names on first sight; the publish path is appends and
+// integer handles.
+type Store struct {
+	rules   map[string]float64
+	ids     map[string]int
+	names   []string
+	pending []string
+	rows    []int
+}
+
+// NewStore builds the interning tables up front.
+func NewStore() *Store {
+	return &Store{
+		rules: make(map[string]float64),
+		ids:   make(map[string]int),
+	}
+}
+
+// Decide is a concatenation-free rule lookup: service and op index a
+// nested read, no per-decision string is minted.
+func (s *Store) Decide(service, op string) bool {
+	return s.rules[service+"/"+op] > 0
+}
+
+// Record stages a trace with a single append.
+func (s *Store) Record(name string) {
+	s.pending = append(s.pending, name)
+}
+
+// Flush folds staged traces through the interning table, minting a
+// name only on first sight.
+func (s *Store) Flush() {
+	for _, p := range s.pending {
+		id, ok := s.ids[p]
+		if !ok {
+			id = len(s.names)
+			s.names = append(s.names, p)
+			s.ids[p] = id
+		}
+		s.rows = append(s.rows, id)
+	}
+	s.pending = s.pending[:0]
+}
+
+// Render is an analytics read — dashboards, dumps — not reachable from
+// the publish path, so formatting here is fine.
+func (s *Store) Render() string {
+	return fmt.Sprintf("%d rows, %d names", len(s.rows), len(s.names))
+}

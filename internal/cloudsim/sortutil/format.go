@@ -1,0 +1,38 @@
+package sortutil
+
+import (
+	"fmt"
+	"time"
+)
+
+// FormatDuration renders a simulated-timeline duration the way every
+// observability surface (trace renders, the fleet trace dashboard)
+// prints one: "0ms" for non-positive values, microsecond precision
+// below one millisecond, millisecond precision from there up. The
+// trace store and the control tower both delegate here so a span
+// printed per-account and the same span rolled up fleet-wide never
+// disagree on rounding.
+func FormatDuration(d time.Duration) string {
+	if d <= 0 {
+		return "0ms"
+	}
+	if d < time.Millisecond {
+		return d.Round(time.Microsecond).String()
+	}
+	return d.Round(time.Millisecond).String()
+}
+
+// FormatMoneyNanos renders a nanodollar amount at eight decimal
+// places — span-scale costs sit far below the bill's cent resolution —
+// using only integer arithmetic: the amount is rounded half-up to
+// 1e-8 dollars and split digit-exactly, so no float64 conversion can
+// drift the last digit between renderers the way the old
+// Sprintf("%.8f", Dollars()) path could.
+func FormatMoneyNanos(nanos int64) string {
+	neg := ""
+	if nanos < 0 {
+		neg, nanos = "-", -nanos
+	}
+	h := (nanos + 5) / 10 // hundredths of a microdollar, rounded half up
+	return fmt.Sprintf("%s$%d.%08d", neg, h/100_000_000, h%100_000_000)
+}

@@ -16,8 +16,12 @@
 // *why* did this request take 827 ms, and what did it cost?
 //
 // A Trace models a single causal request chain, like sim.Cursor, but
-// is internally locked so concurrent flows may safely share a
-// Recorder and read finished traces from other goroutines.
+// is internally locked so concurrent flows may safely share a Store
+// and read finished traces from other goroutines. The Store is the
+// X-Ray-sim backend proper: head-sampled (see SamplerConfig) traces
+// folded into columnar storage at clock ticks, priced at 2017 X-Ray
+// rates, and queried for service maps, critical paths and filter
+// expressions.
 package trace
 
 import (
@@ -27,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cloudsim/sortutil"
 	"repro/internal/pricing"
 )
 
@@ -59,13 +64,36 @@ type Trace struct {
 	mu   sync.Mutex
 	name string
 	root *Span
+
+	// slab is the current span allocation chunk. Spans are handed out
+	// slot by slot and a fresh fixed-capacity chunk replaces a full one,
+	// so span pointers stay stable while a whole request flow costs one
+	// or two allocations instead of one per hop — tracing a request must
+	// stay cheap enough to leave on fleet-wide.
+	slab []Span
+}
+
+// spanChunk sizes the slab: a chat-shaped flow (gateway, lambda and
+// its sub-segments, per-hop IAM checks) runs about a dozen spans.
+const spanChunk = 16
+
+// newSpanLocked hands out the next slab slot, minting a new chunk when
+// the current one is full. Never growing a chunk in place is what
+// keeps previously returned *Span values valid.
+func (t *Trace) newSpanLocked() *Span {
+	if len(t.slab) == cap(t.slab) {
+		t.slab = make([]Span, 0, spanChunk)
+	}
+	t.slab = append(t.slab, Span{})
+	return &t.slab[len(t.slab)-1]
 }
 
 // New starts a trace whose root span (service "client", op name)
 // opens at start.
 func New(name string, start time.Time) *Trace {
 	t := &Trace{name: name}
-	t.root = &Span{tr: t, service: "client", op: name, start: start}
+	t.root = t.newSpanLocked()
+	*t.root = Span{tr: t, service: "client", op: name, start: start}
 	return t
 }
 
@@ -183,8 +211,12 @@ func (s *Span) StartChild(service, op string, at time.Time) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{tr: s.tr, parent: s, service: service, op: op, start: at}
 	s.tr.mu.Lock()
+	c := s.tr.newSpanLocked()
+	*c = Span{tr: s.tr, parent: s, service: service, op: op, start: at}
+	if s.children == nil {
+		s.children = make([]*Span, 0, 4)
+	}
 	s.children = append(s.children, c)
 	s.tr.mu.Unlock()
 	return c
@@ -217,6 +249,9 @@ func (s *Span) Annotate(key, value string) {
 			s.annotations[i].Value = value
 			return
 		}
+	}
+	if s.annotations == nil {
+		s.annotations = make([]Annotation, 0, 4)
 	}
 	s.annotations = append(s.annotations, Annotation{Key: key, Value: value})
 }
@@ -254,6 +289,9 @@ func (s *Span) AddUsage(u pricing.Usage) {
 		return
 	}
 	s.tr.mu.Lock()
+	if s.usage == nil {
+		s.usage = make([]pricing.Usage, 0, 2)
+	}
 	s.usage = append(s.usage, u)
 	s.tr.mu.Unlock()
 }
@@ -399,18 +437,11 @@ func (t *Trace) renderSpan(sb *strings.Builder, book *pricing.PriceBook, s *Span
 	}
 }
 
-func fmtDur(d time.Duration) string {
-	if d <= 0 {
-		return "0ms"
-	}
-	if d < time.Millisecond {
-		return d.Round(time.Microsecond).String()
-	}
-	return d.Round(time.Millisecond).String()
-}
+// fmtDur and fmtCost delegate to the shared sortutil formatters so
+// trace renders, the fleet trace dashboard and every other
+// observability surface agree digit-for-digit on rounding.
+func fmtDur(d time.Duration) string { return sortutil.FormatDuration(d) }
 
 // fmtCost prints a span-scale amount: nanodollar sums far below the
 // bill's cent resolution, so render micro-dollar precision.
-func fmtCost(m pricing.Money) string {
-	return fmt.Sprintf("$%.8f", m.Dollars())
-}
+func fmtCost(m pricing.Money) string { return sortutil.FormatMoneyNanos(m.Nanodollars()) }

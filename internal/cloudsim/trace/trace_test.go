@@ -176,39 +176,61 @@ func TestRender(t *testing.T) {
 	}
 }
 
-func TestRecorder(t *testing.T) {
-	r := NewRecorder(2)
-	if r.Len() != 0 || r.Last() != nil {
-		t.Fatal("fresh recorder not empty")
+func TestStoreBasics(t *testing.T) {
+	s := NewStore(nil) // nil sampler: keep everything
+	if s.Len() != 0 {
+		t.Fatal("fresh store not empty")
 	}
-	a, b, c := New("a", t0), New("b", t0), New("c", t0)
-	r.Record(a)
-	r.Record(b)
-	r.Record(c) // evicts a
-	if r.Len() != 2 {
-		t.Fatalf("len = %d", r.Len())
+	if _, ok := s.Last(); ok {
+		t.Fatal("fresh store has a last trace")
 	}
-	got := r.Traces()
-	if len(got) != 2 || got[0] != b || got[1] != c {
-		t.Fatalf("traces = %v", got)
+	a, b := New("a", t0), New("b", t0.Add(time.Second))
+	a.Finish(t0.Add(100 * time.Millisecond))
+	b.Finish(t0.Add(1100 * time.Millisecond))
+	s.Record(a)
+	s.Record(b)
+	s.Record(nil) // nil traces are ignored
+	if got := s.Len(); got != 2 {
+		t.Fatalf("len = %d", got)
 	}
-	if r.Last() != c {
-		t.Fatal("last != c")
+	views := s.Stored()
+	if len(views) != 2 || views[0].Name() != "a" || views[1].Name() != "b" {
+		t.Fatalf("stored = %v", views)
 	}
-	r.Record(nil) // nil traces are ignored
-	if r.Len() != 2 {
-		t.Fatal("nil trace recorded")
+	if views[0].Duration() != 100*time.Millisecond {
+		t.Fatalf("duration = %v", views[0].Duration())
 	}
-	var nilRec *Recorder
-	nilRec.Record(a)
-	if nilRec.Len() != 0 || nilRec.Last() != nil || nilRec.Traces() != nil {
-		t.Fatal("nil recorder misbehaved")
+	last, ok := s.Last()
+	if !ok || last.Name() != "b" {
+		t.Fatal("last != b")
+	}
+	// An unfinished trace stays staged, invisible to reads, until
+	// finished and re-flushed.
+	c := New("c", t0.Add(2*time.Second))
+	s.Record(c)
+	if got := len(s.Stored()); got != 2 {
+		t.Fatalf("open trace leaked into storage: %d stored", got)
+	}
+	c.Finish(t0.Add(3 * time.Second))
+	if got := len(s.Stored()); got != 3 {
+		t.Fatalf("finished trace not folded: %d stored", got)
+	}
+	// Time windows binary-search root starts, bounds inclusive.
+	win := s.Window(t0.Add(time.Second), t0.Add(2*time.Second))
+	if len(win) != 2 || win[0].Name() != "b" || win[1].Name() != "c" {
+		t.Fatalf("window = %d traces", len(win))
+	}
+	var nilStore *Store
+	nilStore.Record(a)
+	nilStore.Flush()
+	if nilStore.Len() != 0 || nilStore.Stored() != nil || !nilStore.Decide("x", "y", t0) {
+		t.Fatal("nil store misbehaved")
 	}
 }
 
 func TestConcurrentTraceAccess(t *testing.T) {
 	// A reader walking the trace while another goroutine appends spans
-	// must be race-free (the recorder makes traces visible across
+	// must be race-free (the store makes traces visible across
 	// goroutines).
 	tr := New("req", t0)
 	root := tr.Root()

@@ -52,7 +52,7 @@ type Cloud struct {
 	Gateway *gateway.Service
 	Metrics *metrics.Service
 	Logs    *logs.Service
-	Tracer  *trace.Recorder
+	Tracer  *trace.Store
 	Attest  *attest.Platform
 
 	selfTelemetry bool
@@ -132,6 +132,18 @@ type CloudOptions struct {
 	// bundle's values — the fleet uses that to re-seed the latency
 	// model per account.
 	Shared *Shared
+	// DisableTracing skips building the X-Ray-sim trace store. Traced
+	// flows still construct client-side traces (TracedContext keeps
+	// returning one), but nothing is sampled, stored or priced — the
+	// parity tests flip this to prove trace storage never moves a
+	// ledger number.
+	DisableTracing bool
+	// TraceSampling configures the trace store's head-based sampler.
+	// Nil keeps every recorded trace — the single-account default,
+	// where the operator wants each request explained. The fleet seeds
+	// one per account (workload.Substream(seed, "trace")) with X-Ray's
+	// default reservoir-plus-5% rule.
+	TraceSampling *trace.SamplerConfig
 	// SelfTelemetry lets the telemetry plane record its own counters
 	// (samples batched, events ingested, bytes, flushes, interceptor
 	// overhead) as telemetry.* metric series via
@@ -189,7 +201,9 @@ func NewCloud(opts CloudOptions) (*Cloud, error) {
 	c.Gateway = gateway.New(c.Lambda, c.Meter, c.Model, c.Clock)
 	c.Metrics = metrics.New()
 	c.Logs = logs.New(c.Clock)
-	c.Tracer = trace.NewRecorder(trace.DefaultCapacity)
+	if !opts.DisableTracing {
+		c.Tracer = trace.NewStore(opts.TraceSampling)
+	}
 	c.Lambda.SetMetrics(c.Metrics)
 	c.Lambda.SetServices(lambda.Services{KMS: c.KMS, S3: c.S3, SQS: c.SQS, Dynamo: c.Dynamo, Email: c.SES})
 
@@ -214,12 +228,13 @@ func NewCloud(opts CloudOptions) (*Cloud, error) {
 
 	// Clock movement is the deterministic publication boundary for the
 	// batched telemetry interceptors: every Advance/Set drains the
-	// pending metric samples and log events into their stores. Reads
-	// force their own flush too, so this is a latency bound, not a
-	// correctness requirement.
+	// pending metric samples, log events and staged traces into their
+	// stores. Reads force their own flush too, so this is a latency
+	// bound, not a correctness requirement.
 	c.Clock.OnTick(func(time.Time) {
 		c.Metrics.FlushBatches()
 		c.Logs.FlushBatches()
+		c.Tracer.Flush()
 	})
 	c.selfTelemetry = opts.SelfTelemetry
 	c.Attest = shared.Attest

@@ -61,4 +61,41 @@ func TestLedgerParityFleetTelemetry(t *testing.T) {
 			t.Fatalf("dashboard missing %q:\n%s", want, dash)
 		}
 	}
+
+	// With no traced accounts, the trace dashboard renders empty.
+	if td := tower.RenderTraceDashboard(); td != "" {
+		t.Fatalf("untraced run rendered a trace dashboard:\n%s", td)
+	}
+}
+
+// TestLedgerParityFleetTraced reruns the same fleet with head-sampled
+// tracing on (plus the tower, so the sampled traces roll up) and diffs
+// against the *same* golden file — the enforced form of "tracing on ==
+// tracing off". Traced requests run under TracedContext and the chat
+// flow switches to SendTraced; none of it may move a latency sample or
+// a nanodollar. (check.sh's `-run TestLedgerParityFleet` prefix match
+// runs this at GOMAXPROCS=1 and NumCPU too, so the sampled kept-sets
+// are also pinned independent of worker count.)
+func TestLedgerParityFleetTraced(t *testing.T) {
+	cfg := DefaultFleetConfig()
+	cfg.Trace = true
+	tower := telemetry.NewTower(telemetry.Options{})
+	cfg.Tower = tower
+	rep, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString(rep.Render())
+	sb.WriteString(rep.RawFingerprint())
+	sb.WriteString(rep.RenderAccounts())
+	checkGolden(t, "ledger_fleet.golden", sb.String())
+
+	// The rollup actually saw sampled traces.
+	dash := tower.RenderTraceDashboard()
+	for _, want := range []string{"Fleet trace rollup", "sampling:", "service map", "critical path"} {
+		if !strings.Contains(dash, want) {
+			t.Fatalf("trace dashboard missing %q:\n%s", want, dash)
+		}
+	}
 }

@@ -54,6 +54,11 @@ type Table3Config struct {
 	// requires bit-identical results: the evidence trail must never
 	// perturb the evidence.
 	DisableLogging bool
+	// DisableTracing turns off the X-Ray-sim trace store.
+	// TestTracePreservesLedger runs the prototype both ways and
+	// requires bit-identical results: storing traces must never move a
+	// ledger number.
+	DisableTracing bool
 }
 
 // RunTable3 deploys the chat prototype on a fresh simulated cloud,
@@ -74,6 +79,7 @@ func RunTable3(cfg Table3Config) (*Table3, error) {
 		Name:                 "table3",
 		DisableObservability: cfg.DisableObservability,
 		DisableLogging:       cfg.DisableLogging,
+		DisableTracing:       cfg.DisableTracing,
 	}
 	if cfg.Seed != 0 {
 		params := netsim.DefaultParams()

@@ -15,7 +15,10 @@ import (
 	"repro/internal/apps/filetransfer"
 	"repro/internal/apps/iot"
 	"repro/internal/cloudsim/clock"
+	"repro/internal/cloudsim/lambda"
 	"repro/internal/cloudsim/metrics"
+	"repro/internal/cloudsim/sim"
+	"repro/internal/cloudsim/trace"
 	"repro/internal/core"
 	"repro/internal/fleet/telemetry"
 	"repro/internal/pricing"
@@ -104,6 +107,31 @@ func simulateAccount(cfg *Config, shared *core.Shared, profile workload.AccountP
 			InstallHostNs:    drainStart - installStart,
 			DrainHostNs:      drainEnd - drainStart,
 		})
+		if cfg.Trace {
+			// Reduce the account's sampled traces to its service map and
+			// critical-path profile while the store is hot; the tower
+			// merges them in slot order at Finalize. The rollup reads
+			// bump the scanned dimension before Stats is taken, so the
+			// dashboard's scan count includes them — deterministically.
+			st := a.cloud.Tracer
+			smap := st.ServiceMap(cfg.Book, time.Time{}, time.Time{})
+			crit := st.CriticalProfile(time.Time{}, time.Time{})
+			stats := st.Stats()
+			var list int64
+			for _, u := range st.Usage() {
+				list += cfg.Book.ListPrice(u).Nanodollars()
+			}
+			cfg.Tower.ObserveTraces(telemetry.TraceObservation{
+				Slot:      slot,
+				Decided:   stats.Decided,
+				Kept:      stats.Kept,
+				Stored:    stats.Stored,
+				Scanned:   stats.Scanned,
+				ListNanos: list,
+				Map:       smap,
+				Crit:      crit,
+			})
+		}
 	}
 	a.cloud.Metrics.Recycle()
 	return o
@@ -116,6 +144,13 @@ func newAccountSim(cfg *Config, shared *core.Shared, profile workload.AccountPro
 	tl := clock.NewTimeline()
 	params := shared.Params
 	params.Seed = workload.Substream(profile.Seed, "netsim")
+	// With tracing on, each account gets an X-Ray-sim store whose
+	// head sampler draws from its own "trace" seed partition — two
+	// identically-seeded accounts keep identical trace sets.
+	var sampling *trace.SamplerConfig
+	if cfg.Trace {
+		sampling = &trace.SamplerConfig{Seed: workload.Substream(profile.Seed, "trace")}
+	}
 	cloud, err := core.NewCloud(core.CloudOptions{
 		Name:      fmt.Sprintf("fleet-%06d", profile.Index),
 		Shared:    shared,
@@ -128,6 +163,8 @@ func newAccountSim(cfg *Config, shared *core.Shared, profile workload.AccountPro
 		// reads no logs, and ingest would dominate the span's cost.
 		DisableObservability: cfg.Tower == nil,
 		DisableLogging:       true,
+		DisableTracing:       !cfg.Trace,
+		TraceSampling:        sampling,
 	})
 	if err != nil {
 		return nil, err
@@ -251,11 +288,30 @@ func (a *accountSim) requestLocked(now time.Time) error {
 	}
 }
 
+// requestContextLocked returns the arrival's client context. With
+// tracing on it is a TracedContext: the head-sampling decision is
+// taken up front and an unsampled request carries a nil (still
+// nil-safe) trace. Caller holds a.mu and finishes the returned trace
+// when the flow completes.
+func (a *accountSim) requestContextLocked(op string) (*sim.Context, *trace.Trace) {
+	if !a.cfg.Trace {
+		return a.dep.ClientContext(), nil
+	}
+	return a.dep.TracedContext(op)
+}
+
 // chatRequestLocked is the Table 3 flow at fleet scale: owner sends,
 // peer's outstanding long poll delivers, E2E latency runs from send
 // initiation to decrypted delivery.
 func (a *accountSim) chatRequestLocked(now time.Time, gap time.Duration) error {
-	stats, _, err := a.owner.SendTimed(a.bodyLocked())
+	body := a.bodyLocked()
+	var stats lambda.InvocationStats
+	var err error
+	if a.cfg.Trace {
+		_, stats, err = a.owner.SendTraced(body)
+	} else {
+		stats, _, err = a.owner.SendTimed(body)
+	}
 	if err != nil {
 		return fmt.Errorf("chat send %d: %w", a.stats.Requests, err)
 	}
@@ -278,8 +334,10 @@ func (a *accountSim) emailRequestLocked(now time.Time, gap time.Duration) error 
 	raw := fmt.Sprintf("From: friend@example.org\r\nSubject: note %d\r\n\r\n%s",
 		a.stats.Requests, a.bodyLocked())
 	_, coldBefore := a.cloud.Lambda.Stats(a.dep.FnName)
-	ctx := a.dep.ClientContext()
-	if err := a.cloud.SES.Deliver(ctx, "friend@example.org", operator+"@"+email.MailDomain, []byte(raw)); err != nil {
+	ctx, tr := a.requestContextLocked("email-inbound")
+	err := a.cloud.SES.Deliver(ctx, "friend@example.org", operator+"@"+email.MailDomain, []byte(raw))
+	tr.Finish(ctx.Now())
+	if err != nil {
 		return fmt.Errorf("email inbound %d: %w", a.stats.Requests, err)
 	}
 	_, coldAfter := a.cloud.Lambda.Stats(a.dep.FnName)
@@ -298,8 +356,9 @@ func (a *accountSim) filedropRequestLocked(now time.Time, gap time.Duration) err
 	if err != nil {
 		return err
 	}
-	ctx := a.dep.ClientContext()
+	ctx, tr := a.requestContextLocked("filedrop-upload")
 	resp, stats, err := a.dep.Invoke(ctx, "upload", req)
+	tr.Finish(ctx.Now())
 	if err != nil {
 		return fmt.Errorf("filedrop upload %d: %w", a.stats.Requests, err)
 	}
@@ -326,8 +385,9 @@ func (a *accountSim) iotRequestLocked(now time.Time, gap time.Duration) error {
 		}
 		body = b
 	}
-	ctx := a.dep.ClientContext()
+	ctx, tr := a.requestContextLocked("iot-" + op)
 	resp, stats, err := a.dep.Invoke(ctx, op, body)
+	tr.Finish(ctx.Now())
 	if err != nil {
 		return fmt.Errorf("iot %s %d: %w", op, a.stats.Requests, err)
 	}

@@ -58,6 +58,15 @@ type Config struct {
 	// ledger on its AccountStats — parity tests use it; large fleets
 	// should leave it off.
 	CaptureLedgers bool
+	// Trace turns on per-account head-sampled distributed tracing:
+	// each account's cloud gets an X-Ray-sim store whose sampler
+	// (reservoir 1/s + 5%, the X-Ray default rule) is seeded from
+	// workload.Substream(profile.Seed, "trace"), and every workload
+	// request runs under a TracedContext. Tracing is read-only over
+	// the economy — the trace parity test pins ledger goldens
+	// bit-identical with it on. Pair with Tower to roll the sampled
+	// traces into fleet-wide service maps and critical-path profiles.
+	Trace bool
 	// Profile overrides the account-profile distribution (tests use it
 	// to pin identical seeds on two accounts). Nil means
 	// workload.Profile.

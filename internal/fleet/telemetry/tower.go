@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/cloudsim/clock"
 	"repro/internal/cloudsim/metrics"
+	"repro/internal/cloudsim/trace"
 	"repro/internal/pricing"
 )
 
@@ -60,6 +61,32 @@ type AccountObservation struct {
 	// InstallHostNs and DrainHostNs split the account's host-clock time
 	// between NewCloud+app install and the request-plane replay.
 	InstallHostNs, DrainHostNs int64
+}
+
+// TraceObservation is one account's X-Ray-sim rollup, reported after
+// its simulation completes: the sampling counters, the span's x-ray
+// list price, and the pre-reduced service map and critical-path
+// profile the tower merges fleet-wide at Finalize. Everything here is
+// virtual-time replay identity.
+type TraceObservation struct {
+	// Slot is the account's position in the simulated sub-fleet.
+	Slot int
+	// Decided, Kept, Stored, Scanned mirror trace.StoreStats.
+	Decided, Kept, Stored, Scanned int64
+	// ListNanos prices the account's x-ray usage (traces recorded +
+	// scanned) at list price, in nanodollars.
+	ListNanos int64
+	// Map and Crit are the account's service map and critical-path
+	// profile over its sampled traces.
+	Map  *trace.ServiceMap
+	Crit *trace.CriticalProfile
+}
+
+// traceCell is one account's trace slot; like accountCell, each is
+// written by exactly one worker and read only after the workers join.
+type traceCell struct {
+	ok  bool
+	obs TraceObservation
 }
 
 // ShardCounters accumulates one logical shard's virtual-time totals.
@@ -136,9 +163,16 @@ type Tower struct {
 	span          time.Duration
 	cells         []accountCell
 	shardCells    []ShardCounters
+	traceCells    []traceCell
 	phases        PhaseTimings
 	installHostNs int64
 	drainHostNs   int64
+
+	// Fleet-wide trace rollups, merged from traceCells in slot order
+	// at Finalize; nil when the run traced nothing.
+	traceMap    *trace.ServiceMap
+	traceCrit   *trace.CriticalProfile
+	traceTotals TraceObservation
 
 	store *metrics.Service
 }
@@ -163,6 +197,7 @@ func (t *Tower) Begin(accounts, shards int, seed int64, span time.Duration) {
 	t.span = span
 	t.cells = make([]accountCell, accounts)
 	t.shardCells = make([]ShardCounters, shards)
+	t.traceCells = make([]traceCell, accounts)
 }
 
 // ObserveAccount reports one completed account. svc is the account's
@@ -182,6 +217,18 @@ func (t *Tower) ObserveAccount(svc *metrics.Service, obs AccountObservation) {
 	t.requestsDone.Add(int64(obs.Requests))
 	t.coldDone.Add(int64(obs.ColdStarts))
 	t.eventsDone.Add(int64(obs.Events))
+}
+
+// ObserveTraces reports one account's X-Ray-sim rollup. The map and
+// profile arrive pre-reduced (the engine builds them while the
+// account's store is hot), so this is one cell write. Safe for
+// concurrent use: each account owns its slot.
+func (t *Tower) ObserveTraces(obs TraceObservation) {
+	t.mu.Lock()
+	if obs.Slot >= 0 && obs.Slot < len(t.traceCells) {
+		t.traceCells[obs.Slot] = traceCell{ok: true, obs: obs}
+	}
+	t.mu.Unlock()
 }
 
 // ObserveShard reports one drained shard's counters.
@@ -322,6 +369,33 @@ func (t *Tower) Finalize() {
 		t.store.Record(ns, metrics.MetricPlaneLatencyMs, end, m.latencyMs)
 		t.store.Record(ns, metrics.MetricPlaneCostNanos, end, m.costNanos)
 	}
+
+	// Fleet-wide trace rollup: merge the per-account service maps and
+	// critical-path profiles strictly in slot order, so node, edge and
+	// step order never depend on worker finish order.
+	for i := range t.traceCells {
+		c := &t.traceCells[i]
+		if !c.ok {
+			continue
+		}
+		t.traceTotals.Decided += c.obs.Decided
+		t.traceTotals.Kept += c.obs.Kept
+		t.traceTotals.Stored += c.obs.Stored
+		t.traceTotals.Scanned += c.obs.Scanned
+		t.traceTotals.ListNanos += c.obs.ListNanos
+		if c.obs.Map != nil {
+			if t.traceMap == nil {
+				t.traceMap = &trace.ServiceMap{}
+			}
+			t.traceMap.Merge(c.obs.Map)
+		}
+		if c.obs.Crit != nil {
+			if t.traceCrit == nil {
+				t.traceCrit = &trace.CriticalProfile{}
+			}
+			t.traceCrit.Merge(c.obs.Crit)
+		}
+	}
 }
 
 // Store exposes the tower's fleet-level metrics store (read-only by
@@ -450,6 +524,31 @@ func (t *Tower) topAccountsLocked() []AccountObservation {
 		obs = obs[:t.topN]
 	}
 	return obs
+}
+
+// RenderTraceDashboard renders the fleet-wide trace rollup: sampling
+// totals, the merged service map, and the merged critical-path
+// profile. Empty when the run traced nothing (so untraced callers can
+// print it unconditionally). Deterministic — check.sh diffs it across
+// replays.
+func (t *Tower) RenderTraceDashboard() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.traceMap == nil && t.traceCrit == nil {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("\nFleet trace rollup — head-sampled (reservoir 1/s + 5%)\n")
+	fmt.Fprintf(&sb, "sampling: %d decisions, %d kept, %d stored, %d scanned; x-ray list price %s\n",
+		t.traceTotals.Decided, t.traceTotals.Kept, t.traceTotals.Stored,
+		t.traceTotals.Scanned, pricing.Money(t.traceTotals.ListNanos))
+	if t.traceMap != nil {
+		sb.WriteString(t.traceMap.Render())
+	}
+	if t.traceCrit != nil {
+		sb.WriteString(t.traceCrit.Render())
+	}
+	return sb.String()
 }
 
 // RenderHostPhases renders the host-clock phase split, or an

@@ -213,6 +213,23 @@ func Compute(book *PriceBook, m *Meter) *Bill {
 		Cost: book.CWLogsStoragePerGBMonth.MulFloat(bcwls),
 	})
 
+	// X-Ray: traces recorded and scanned, metered as counts (the
+	// trace store reports them via Usage()).
+	xrr := m.Total(XRayTracesRecorded)
+	bxrr := billable(xrr, book.XRayFreeRecorded)
+	add(Line{
+		Kind: XRayTracesRecorded, Detail: "x-ray traces recorded",
+		Quantity: xrr, Billable: bxrr,
+		Cost: book.XRayPerMillionRecorded.MulFloat(bxrr / 1e6),
+	})
+	xrs := m.Total(XRayTracesScanned)
+	bxrs := billable(xrs, book.XRayFreeScanned)
+	add(Line{
+		Kind: XRayTracesScanned, Detail: "x-ray traces scanned",
+		Quantity: xrs, Billable: bxrs,
+		Cost: book.XRayPerMillionScanned.MulFloat(bxrs / 1e6),
+	})
+
 	// EC2, one line per instance type for readability.
 	byType := m.ByResource(EC2Seconds)
 	types := make([]string, 0, len(byType))

@@ -83,6 +83,15 @@ type PriceBook struct {
 	CWLogsStoragePerGBMonth Money
 	CWLogsFreeIngestGB      float64
 	CWLogsFreeStorageGB     float64
+
+	// X-Ray: $5.00 per million traces recorded and $0.50 per million
+	// traces retrieved or scanned (2017 list), with 100,000 recorded
+	// and 1,000,000 scanned traces free every month. The trace store's
+	// sampled request chains bill here.
+	XRayPerMillionRecorded Money
+	XRayPerMillionScanned  Money
+	XRayFreeRecorded       float64
+	XRayFreeScanned        float64
 }
 
 // Default2017 returns the mid-2017 AWS us-west-2 list prices.
@@ -132,6 +141,11 @@ func Default2017() *PriceBook {
 		CWLogsStoragePerGBMonth: FromDollars(0.03),
 		CWLogsFreeIngestGB:      5,
 		CWLogsFreeStorageGB:     5,
+
+		XRayPerMillionRecorded: FromDollars(5.00),
+		XRayPerMillionScanned:  FromDollars(0.50),
+		XRayFreeRecorded:       100_000,
+		XRayFreeScanned:        1_000_000,
 	}
 }
 
@@ -152,6 +166,8 @@ func (b *PriceBook) WithoutFreeTiers() *PriceBook {
 	cp.CWFreeAlarms = 0
 	cp.CWLogsFreeIngestGB = 0
 	cp.CWLogsFreeStorageGB = 0
+	cp.XRayFreeRecorded = 0
+	cp.XRayFreeScanned = 0
 	return &cp
 }
 
@@ -201,6 +217,10 @@ func (b *PriceBook) ListPrice(u Usage) Money {
 		return b.CWLogsIngestPerGB.MulFloat(u.Quantity)
 	case CWLogsStorageGBMo:
 		return b.CWLogsStoragePerGBMonth.MulFloat(u.Quantity)
+	case XRayTracesRecorded:
+		return b.XRayPerMillionRecorded.MulFloat(u.Quantity / 1e6)
+	case XRayTracesScanned:
+		return b.XRayPerMillionScanned.MulFloat(u.Quantity / 1e6)
 	}
 	return 0
 }

@@ -28,6 +28,9 @@ const (
 
 	CWLogsIngestGB    Kind = "cw-logs-ingest-gb"     // GB ingested (CloudWatch Logs)
 	CWLogsStorageGBMo Kind = "cw-logs-storage-gb-mo" // GB-months stored (CloudWatch Logs)
+
+	XRayTracesRecorded Kind = "xray-traces-recorded" // traces recorded (X-Ray)
+	XRayTracesScanned  Kind = "xray-traces-scanned"  // traces retrieved/scanned (X-Ray)
 )
 
 // Usage is one metered quantity.

@@ -1,8 +1,8 @@
 #!/bin/sh
 # bench.sh — snapshot the cloudsim hot-path, diylint, and fleet
 # benchmarks into BENCH_cloudsim.json so interceptor-chain,
-# window-lookup, log ingestion, Insights-scan, analyzer-suite, and
-# fleet-throughput regressions show up as a diff.
+# window-lookup, log ingestion, Insights-scan, trace-store,
+# analyzer-suite, and fleet-throughput regressions show up as a diff.
 # `make bench` runs this.
 set -eu
 cd "$(dirname "$0")/.."
@@ -11,15 +11,16 @@ OUT=BENCH_cloudsim.json
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkDoInterceptors|BenchmarkWindowNarrow|BenchmarkLogsIngest|BenchmarkInsightsScan|BenchmarkDiylint' -benchmem \
-	./internal/cloudsim/plane ./internal/cloudsim/metrics ./internal/cloudsim/logs ./internal/analysis | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkDoInterceptors|BenchmarkWindowNarrow|BenchmarkLogsIngest|BenchmarkInsightsScan|BenchmarkTraceRecord|BenchmarkServiceMap|BenchmarkDiylint' -benchmem \
+	./internal/cloudsim/plane ./internal/cloudsim/metrics ./internal/cloudsim/logs ./internal/cloudsim/trace ./internal/analysis | tee "$RAW"
 
 # Fleet runs take hundreds of ms to seconds each. The 1000-account
-# pair (bare vs telemetry) runs five timed iterations because the
-# bench gate checks their ns/request ratio — single-iteration noise
-# swings that ratio by ±10 points. The 10000-account scale run keeps
-# one iteration so `make bench` stays fast.
-go test -run '^$' -bench 'BenchmarkFleet(Telemetry)?/accounts=1000$' -benchmem -benchtime 5x \
+# trio (bare vs telemetry vs traced) runs five timed iterations
+# because the bench gate checks their ns/request ratios —
+# single-iteration noise swings those ratios by ±10 points. The
+# 10000-account scale run keeps one iteration so `make bench` stays
+# fast.
+go test -run '^$' -bench 'BenchmarkFleet(Telemetry|Traced)?/accounts=1000$' -benchmem -benchtime 5x \
 	./internal/fleet | tee -a "$RAW"
 go test -run '^$' -bench 'BenchmarkFleet/accounts=10000$' -benchmem -benchtime 1x \
 	./internal/fleet | tee -a "$RAW"

@@ -133,4 +133,22 @@ BEGIN {
 	}
 	printf "bench_gate: ok   fleet telemetry overhead %.1f%% ns/request (%g telemetry vs %g base)\n", pct, tel, base
 }'
+
+# The same relative gate for head-sampled tracing: a traced fleet must
+# cost under MARGIN% ns/request over the untraced one — sampled
+# tracing has to stay cheap enough to leave on fleet-wide.
+TRACED=$(ns_req "BenchmarkFleetTraced/accounts=1000")
+if [ -z "$TRACED" ]; then
+	echo "bench_gate: FAIL fleet tracing overhead unmeasurable (BenchmarkFleetTraced missing from $SNAPSHOT)" >&2
+	exit 1
+fi
+awk -v base="$BASE" -v traced="$TRACED" -v margin="$MARGIN" '
+BEGIN {
+	pct = 100 * (traced - base) / base
+	if (traced > base * (1 + margin / 100)) {
+		printf "bench_gate: FAIL fleet tracing overhead %.1f%% ns/request (%g traced vs %g base; margin %g%%)\n", pct, traced, base, margin
+		exit 1
+	}
+	printf "bench_gate: ok   fleet tracing overhead %.1f%% ns/request (%g traced vs %g base)\n", pct, traced, base
+}'
 echo "bench_gate: all benchmarks within budget (margin ${MARGIN}%)"

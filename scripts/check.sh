@@ -10,8 +10,8 @@ go vet ./...
 echo ">> diylint ./... (domain invariants: wallclock, globalrand, moneyfloat, spanhygiene, planeroute, metricname, loggroup, hotpath, droppederr, maporder, globalstate, shardsafe)"
 go run ./cmd/diylint ./...
 
-echo ">> ledger parity (Tables 1-3 + metrics3 + logs3 bit-identical to committed goldens; observability/logging on == off)"
-go test ./internal/experiments -run 'TestLedgerParity|TestObservabilityPreservesLedger|TestLogsPreserveLedger'
+echo ">> ledger parity (Tables 1-3 + metrics3 + logs3 + xray3 bit-identical to committed goldens; observability/logging/tracing on == off)"
+go test ./internal/experiments -run 'TestLedgerParity|TestObservabilityPreservesLedger|TestLogsPreserveLedger|TestTracePreservesLedger'
 
 echo ">> alarm determinism (two identically-seeded runs, transition logs diffed)"
 LOG1=$(mktemp) LOG2=$(mktemp)
@@ -50,6 +50,15 @@ if ! [ -s "$LOG1" ]; then
 fi
 if ! grep -q 'Fleet control tower' "$LOG1"; then
 	echo "check: fleet run rendered no control-tower dashboard" >&2
+	exit 1
+fi
+diff "$LOG1" "$LOG2"
+
+echo ">> traced-fleet double-run (sampled kept-sets, service map and critical path diffed across worker counts)"
+GOMAXPROCS=1 go run ./cmd/diyctl trace -fleet -accounts 200 -span 10m >"$LOG1" 2>/dev/null
+go run ./cmd/diyctl trace -fleet -accounts 200 -span 10m >"$LOG2" 2>/dev/null
+if ! grep -q 'Fleet trace rollup' "$LOG1"; then
+	echo "check: traced fleet run rendered no trace rollup" >&2
 	exit 1
 fi
 diff "$LOG1" "$LOG2"
